@@ -1,0 +1,12 @@
+"""Benchmark: ablate METIS' refinement/scheduler choices (DESIGN.md §5)."""
+
+import pytest
+
+from repro.experiments import ablation_refinements
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_refinements(benchmark, bench_fast):
+    run_experiment(benchmark, ablation_refinements, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig10_delay via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig10_delay
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig10_delay")
+def test_fig10_delay(benchmark, bench_fast):
+    run_experiment(benchmark, fig10_delay, bench_fast)

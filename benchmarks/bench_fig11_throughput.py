@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig11_throughput via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig11_throughput
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig11_throughput")
+def test_fig11_throughput(benchmark, bench_fast):
+    run_experiment(benchmark, fig11_throughput, bench_fast)

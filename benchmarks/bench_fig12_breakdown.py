@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig12_breakdown via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig12_breakdown
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig12_breakdown")
+def test_fig12_breakdown(benchmark, bench_fast):
+    run_experiment(benchmark, fig12_breakdown, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig13_cost via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig13_cost
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig13_cost")
+def test_fig13_cost(benchmark, bench_fast):
+    run_experiment(benchmark, fig13_cost, bench_fast)

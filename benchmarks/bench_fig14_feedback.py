@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig14_feedback via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig14_feedback
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig14_feedback")
+def test_fig14_feedback(benchmark, bench_fast):
+    run_experiment(benchmark, fig14_feedback, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig15_larger_llm via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig15_larger_llm
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig15_larger_llm")
+def test_fig15_larger_llm(benchmark, bench_fast):
+    run_experiment(benchmark, fig15_larger_llm, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig16_incremental via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig16_incremental
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig16_incremental")
+def test_fig16_incremental(benchmark, bench_fast):
+    run_experiment(benchmark, fig16_incremental, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig17_profiler_llm via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig17_profiler_llm
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig17_profiler_llm")
+def test_fig17_profiler_llm(benchmark, bench_fast):
+    run_experiment(benchmark, fig17_profiler_llm, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig18_overhead via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig18_overhead
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig18_overhead")
+def test_fig18_overhead(benchmark, bench_fast):
+    run_experiment(benchmark, fig18_overhead, bench_fast)

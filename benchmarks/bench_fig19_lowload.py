@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig19_lowload via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig19_lowload
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig19_lowload")
+def test_fig19_lowload(benchmark, bench_fast):
+    run_experiment(benchmark, fig19_lowload, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig4_knobs via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig4_knobs
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig4_knobs")
+def test_fig4_knobs(benchmark, bench_fast):
+    run_experiment(benchmark, fig4_knobs, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig5_per_query via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig5_per_query
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig5_per_query")
+def test_fig5_per_query(benchmark, bench_fast):
+    run_experiment(benchmark, fig5_per_query, bench_fast)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's fig9_confidence via its experiment driver."""
+
+import pytest
+
+from repro.experiments import fig9_confidence
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="fig9_confidence")
+def test_fig9_confidence(benchmark, bench_fast):
+    run_experiment(benchmark, fig9_confidence, bench_fast)

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the substrates themselves.
+
+These time the hot paths a downstream user would care about when
+scaling the simulator up: vector search, embedding, engine iterations,
+KV-block accounting, profiling, and quality evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.core.profiler import GPT4O_PROFILER, LLMProfiler
+from repro.data import build_dataset
+from repro.llm import A40, ClusterSpec, MISTRAL_7B_AWQ, SimTokenizer
+from repro.llm.quality import QualityModel
+from repro.retrieval.index import FlatL2Index
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.kv_cache import BlockManager
+from repro.serving.request import InferenceRequest
+from repro.util.units import GB
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_dataset("finsec", n_queries=30)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_flat_index_search_1k_vectors(benchmark):
+    rng = np.random.default_rng(0)
+    index = FlatL2Index(dim=512)
+    index.add(rng.normal(size=(1_000, 512)).astype(np.float32))
+    queries = rng.normal(size=(16, 512)).astype(np.float32)
+    benchmark(index.search, queries, 10)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_store_search(benchmark, bundle):
+    benchmark(bundle.store.search, bundle.queries[0].text, 10)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_tokenizer_count(benchmark, bundle):
+    chunk = bundle.store.get(next(iter(bundle.chunk_facts)))
+    tok = SimTokenizer()
+    benchmark(tok.tokenize, chunk.text)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_drain_20_requests(benchmark):
+    def drain():
+        engine = ServingEngine(EngineConfig(
+            model=MISTRAL_7B_AWQ, cluster=ClusterSpec(A40),
+            kv_pool_cap_bytes=2 * GB,
+        ))
+        for i in range(20):
+            engine.submit(InferenceRequest(
+                prompt_tokens=2_000, output_tokens=16,
+                arrival_time=0.0, app_id=f"q{i}",
+            ))
+        return engine.run_until_idle()
+
+    iterations = benchmark(drain)
+    assert iterations > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_kv_block_alloc_free_cycle(benchmark):
+    def cycle():
+        bm = BlockManager(n_blocks=4_096, block_tokens=16)
+        for seq in range(256):
+            bm.allocate(seq, 200)
+        for seq in range(256):
+            bm.free(seq)
+
+    benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_profiler_call(benchmark, bundle):
+    profiler = LLMProfiler(GPT4O_PROFILER, 40)
+    benchmark(profiler.profile, bundle.queries[0])
+
+
+@pytest.mark.benchmark(group="micro")
+def test_quality_expected_f1(benchmark, bundle):
+    quality = QualityModel(bundle.quality_params)
+    query = bundle.queries[0]
+    hits = bundle.store.search(query.text, 9)
+    ctx = bundle.synthesis_context(query, [h.chunk.chunk_id for h in hits])
+    config = RAGConfig(SynthesisMethod.MAP_REDUCE, 9, 100)
+    benchmark(quality.expected_f1, ctx, config.synthesis_method,
+              config.intermediate_length)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper's table1 via its experiment driver."""
+
+import pytest
+
+from repro.experiments import table1
+
+from conftest import run_experiment
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, bench_fast):
+    run_experiment(benchmark, table1, bench_fast)

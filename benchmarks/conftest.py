@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Each ``bench_*`` module regenerates one paper table/figure via its
+experiment driver, timed once with pytest-benchmark and printed in
+paper-comparable form. Set ``REPRO_BENCH_FAST=1`` to shrink workloads
+(smoke mode) — the tables keep their shape but lose statistical weight.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_fast() -> bool:
+    return FAST
+
+
+def run_experiment(benchmark, driver, fast: bool):
+    """Run one experiment driver under pytest-benchmark and print it."""
+    report = benchmark.pedantic(
+        driver.run, kwargs={"fast": fast}, rounds=1, iterations=1
+    )
+    print()
+    print(report.format())
+    assert report.rows, f"{driver.__name__} produced no rows"
+    return report

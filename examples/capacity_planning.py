@@ -1,0 +1,61 @@
+"""Capacity planning: how much load can one GPU sustain under an SLO?
+
+Sweeps the arrival rate for METIS and a fixed-configuration deployment
+on the Musique workload and reports the highest rate each sustains
+under a 5-second mean-delay SLO — the operational version of the
+paper's Fig 11 throughput claim.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    FixedConfigPolicy,
+    RAGConfig,
+    SynthesisMethod,
+    build_dataset,
+    make_metis,
+)
+from repro.experiments.common import run_policy
+
+SLO_SECONDS = 5.0
+RATES = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+
+
+def main() -> None:
+    bundle = build_dataset("musique", n_queries=100)
+    fixed_config = RAGConfig(SynthesisMethod.MAP_REDUCE, 8, 100)
+    systems = {
+        "METIS": lambda: make_metis(bundle),
+        f"vLLM fixed [{fixed_config.label()}]":
+            lambda: FixedConfigPolicy(fixed_config),
+    }
+
+    print(f"{'rate (qps)':>10}", end="")
+    for name in systems:
+        print(f"{name:>32}", end="")
+    print()
+
+    sustained = {name: 0.0 for name in systems}
+    for rate in RATES:
+        print(f"{rate:>10.1f}", end="")
+        for name, factory in systems.items():
+            result = run_policy(bundle, factory(), rate_qps=rate)
+            marker = " *" if result.mean_delay <= SLO_SECONDS else "  "
+            if result.mean_delay <= SLO_SECONDS:
+                sustained[name] = max(sustained[name], rate)
+            print(f"{result.mean_delay:>26.2f}s{marker}   ", end="")
+        print()
+
+    print(f"\nHighest sustained rate under a {SLO_SECONDS:.0f}s mean-delay SLO:")
+    for name, rate in sustained.items():
+        print(f"  {name}: {rate:.1f} qps")
+    metis_rate = sustained["METIS"]
+    other = max(v for k, v in sustained.items() if k != "METIS")
+    if other > 0:
+        print(f"\nMETIS sustains {metis_rate / other:.2f}x the fixed "
+              "configuration's throughput at the same SLO "
+              "(paper band: 1.8-4.5x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: serve a RAG workload with METIS and compare a baseline.
+
+Builds the FinSec-style dataset, serves 60 queries at 1.4 qps on a
+simulated A40 + Mistral-7B deployment with (a) METIS and (b) a fixed
+configuration on vLLM-style FCFS serving, and prints the quality-delay
+comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FixedConfigPolicy,
+    RAGConfig,
+    SynthesisMethod,
+    build_dataset,
+    default_engine_config,
+    make_metis,
+    poisson_arrivals,
+)
+from repro.evaluation.runner import ExperimentRunner
+
+
+def main() -> None:
+    print("Building the finsec dataset (synthetic quarterly reports)...")
+    bundle = build_dataset("finsec", n_queries=60)
+    arrivals = poisson_arrivals(bundle.queries, rate_qps=1.4, seed=0)
+    runner = ExperimentRunner(bundle, default_engine_config(), seed=0)
+
+    print("Serving with METIS (profiler + joint scheduling)...")
+    metis = runner.run(make_metis(bundle), arrivals)
+
+    print("Serving with fixed configurations (the static alternatives)...")
+    cheap = runner.run(
+        FixedConfigPolicy(RAGConfig(SynthesisMethod.STUFF, 5)), arrivals
+    )
+    quality = runner.run(
+        FixedConfigPolicy(RAGConfig(SynthesisMethod.MAP_REDUCE, 8, 75)),
+        arrivals,
+    )
+
+    print()
+    header = f"{'system':<28}{'mean delay':>12}{'p90 delay':>12}{'F1':>8}"
+    print(header)
+    print("-" * len(header))
+    for result in (metis, cheap, quality):
+        print(
+            f"{result.policy:<28}"
+            f"{result.mean_delay:>10.2f}s"
+            f"{result.delay_percentile(90):>10.2f}s"
+            f"{result.mean_f1:>8.3f}"
+        )
+
+    print()
+    print(
+        "The static tradeoff: the cheap config is fast but "
+        f"{(metis.mean_f1 - cheap.mean_f1) / max(cheap.mean_f1, 1e-9):+.1%} "
+        "F1 below METIS; the quality-matched config needs "
+        f"{quality.mean_delay / max(metis.mean_delay, 1e-9):.1f}x METIS' "
+        "delay. METIS gets both ends by adapting per query."
+    )
+    print("Per-query adaptation summary:")
+    methods = {}
+    for record in metis.records:
+        methods.setdefault(record.config.synthesis_method.value, []).append(
+            record.config.num_chunks
+        )
+    for method, ks in sorted(methods.items()):
+        print(f"  {method:<12} {len(ks):>3} queries, "
+              f"chunks {min(ks)}-{max(ks)}")
+
+
+if __name__ == "__main__":
+    main()

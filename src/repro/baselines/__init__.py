@@ -1,0 +1,21 @@
+"""Baseline serving systems the paper compares against (§7.1).
+
+* ``vLLM`` — fixed RAG configuration on FCFS continuous batching.
+* ``Parrot*`` — fixed configuration, but application-aware scheduling
+  (the engine groups/orders a query's LLM calls).
+* ``AdaptiveRAG*`` — profiler-driven per-query configuration chosen to
+  maximise quality, oblivious to system resources.
+* ``median`` — the §4.3 strawman: profiler-driven pruned space, then
+  the median configuration (Fig 12 ablation).
+"""
+
+from repro.baselines.adaptive_rag import AdaptiveRAGPolicy
+from repro.baselines.fixed import FixedConfigPolicy, ParrotPolicy
+from repro.baselines.median import MedianConfigPolicy
+
+__all__ = [
+    "AdaptiveRAGPolicy",
+    "FixedConfigPolicy",
+    "MedianConfigPolicy",
+    "ParrotPolicy",
+]

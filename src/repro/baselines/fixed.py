@@ -1,0 +1,52 @@
+"""Fixed-configuration baselines: vLLM and Parrot*.
+
+Both serve every query with the same hand-picked RAG configuration
+(the paper's "static configuration chosen offline from a few example
+queries"); they differ only in engine scheduling: vLLM runs FCFS
+continuous batching, Parrot* adds application-level awareness.
+"""
+
+from __future__ import annotations
+
+from repro.config.knobs import RAGConfig
+from repro.core.policy import Decision, PrepResult, RAGPolicy, SchedulingView
+from repro.data.types import Query
+
+__all__ = ["FixedConfigPolicy", "ParrotPolicy"]
+
+
+class FixedConfigPolicy(RAGPolicy):
+    """vLLM baseline: one static configuration, FCFS scheduling."""
+
+    engine_policy = "fcfs"
+
+    def __init__(self, config: RAGConfig, name: str | None = None) -> None:
+        self.config = config
+        self.name = name or f"vllm[{config.label()}]"
+
+    def choose(self, query: Query, prep: PrepResult,
+               view: SchedulingView) -> Decision:
+        return Decision(config=self.config)
+
+    def describe(self) -> str:
+        return f"{self.name}: fixed {self.config.label()}, fcfs"
+
+
+class ParrotPolicy(FixedConfigPolicy):
+    """Parrot* baseline: static configuration + app-aware scheduling.
+
+    Parrot (OSDI'24) exposes inter-request structure ("semantic
+    variables") to the engine, letting it co-schedule the LLM calls of
+    one application. Our engine's ``app-aware`` policy models that:
+    calls are grouped per query and queries closest to completion are
+    favoured. The RAG configuration itself stays fixed (Parrot does not
+    adapt configurations — the paper's point).
+    """
+
+    engine_policy = "app-aware"
+
+    def __init__(self, config: RAGConfig, name: str | None = None) -> None:
+        super().__init__(config, name or f"parrot[{config.label()}]")
+
+    def describe(self) -> str:
+        return f"{self.name}: fixed {self.config.label()}, app-aware"

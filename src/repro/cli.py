@@ -1,0 +1,165 @@
+"""Command-line interface: serve workloads and regenerate experiments.
+
+Usage::
+
+    python -m repro run --dataset finsec --policy metis --rate 1.4
+    python -m repro run --dataset qmsum --policy vllm --config stuff/8
+    python -m repro experiment fig10 --fast
+    python -m repro datasets
+
+Policies: ``metis``, ``adaptive-rag``, ``median``, ``vllm`` and
+``parrot`` (the last two take ``--config method/num_chunks[/ilen]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.baselines import FixedConfigPolicy, ParrotPolicy
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.data import DATASET_NAMES, build_dataset
+from repro.evaluation.reports import format_table
+
+__all__ = ["main", "parse_config_label", "build_policy"]
+
+_EXPERIMENTS = (
+    "table1", "fig4_knobs", "fig5_per_query", "fig9_confidence",
+    "fig10_delay", "fig11_throughput", "fig12_breakdown", "fig13_cost",
+    "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
+    "fig17_profiler_llm", "fig18_overhead", "fig19_lowload",
+)
+
+
+def parse_config_label(label: str) -> RAGConfig:
+    """Parse ``method/num_chunks[/ilen]`` into a :class:`RAGConfig`.
+
+    >>> parse_config_label("map_reduce/8/100")
+    RAGConfig(map_reduce, chunks=8, ilen=100)
+    """
+    parts = label.split("/")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            f"config must be method/num_chunks[/ilen], got {label!r}"
+        )
+    try:
+        method = SynthesisMethod(parts[0])
+    except ValueError:
+        known = ", ".join(m.value for m in SynthesisMethod)
+        raise ValueError(
+            f"unknown synthesis method {parts[0]!r}; known: {known}"
+        ) from None
+    num_chunks = int(parts[1])
+    ilen = int(parts[2]) if len(parts) == 3 else 0
+    return RAGConfig(method, num_chunks, ilen)
+
+
+def build_policy(name: str, bundle, config_label: str | None, seed: int):
+    """Construct a policy by CLI name."""
+    from repro.experiments.common import (
+        make_adaptive_rag,
+        make_median,
+        make_metis,
+    )
+
+    if name == "metis":
+        return make_metis(bundle, seed=seed)
+    if name == "adaptive-rag":
+        return make_adaptive_rag(bundle, seed=seed)
+    if name == "median":
+        return make_median(bundle, seed=seed)
+    if name in ("vllm", "parrot"):
+        if not config_label:
+            raise ValueError(f"policy {name!r} requires --config")
+        config = parse_config_label(config_label)
+        cls = ParrotPolicy if name == "parrot" else FixedConfigPolicy
+        return cls(config)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import run_policy
+
+    bundle = build_dataset(args.dataset, seed=args.seed,
+                           n_queries=args.queries)
+    policy = build_policy(args.policy, bundle, args.config, args.seed)
+    result = run_policy(
+        bundle, policy,
+        rate_qps=args.rate, seed=args.seed,
+        sequential=args.sequential,
+    )
+    rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
+    print(format_table(rows, title=f"{policy.name} on {args.dataset}"))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    report = module.run(fast=args.fast, seed=args.seed)
+    print(report.format())
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        bundle = build_dataset(name, n_queries=20)
+        row = bundle.table1_row()
+        rows.append(dict(
+            dataset=name,
+            chunks=len(bundle.store),
+            chunk_tokens=bundle.chunk_tokens,
+            input_tokens=f"{row['input_p10']:.0f}-{row['input_p90']:.0f}",
+            metadata=bundle.metadata[:48] + "...",
+        ))
+    print(format_table(rows, title="Available datasets"))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="METIS reproduction: serve RAG workloads and "
+                    "regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="serve one workload with one policy")
+    run.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    run.add_argument("--policy", required=True,
+                     choices=("metis", "adaptive-rag", "median",
+                              "vllm", "parrot"))
+    run.add_argument("--config", help="method/num_chunks[/ilen] "
+                                      "(for vllm/parrot)")
+    run.add_argument("--rate", type=float, default=None,
+                     help="Poisson arrival rate in qps "
+                          "(default: dataset-calibrated)")
+    run.add_argument("--queries", type=int, default=100)
+    run.add_argument("--sequential", action="store_true",
+                     help="closed-loop workload (Fig 19 mode)")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    exp = sub.add_parser("experiment", help="run one paper experiment")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+    exp.add_argument("--fast", action="store_true")
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(func=_cmd_experiment)
+
+    ds = sub.add_parser("datasets", help="list the synthetic datasets")
+    ds.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

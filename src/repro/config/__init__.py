@@ -1,0 +1,19 @@
+"""RAG configuration knobs and configuration spaces (paper §2, §3)."""
+
+from repro.config.knobs import (
+    INTERMEDIATE_LENGTH_DOMAIN,
+    NUM_CHUNKS_DOMAIN,
+    RAGConfig,
+    SynthesisMethod,
+)
+from repro.config.space import ConfigurationSpace, PrunedSpace, full_grid
+
+__all__ = [
+    "ConfigurationSpace",
+    "INTERMEDIATE_LENGTH_DOMAIN",
+    "NUM_CHUNKS_DOMAIN",
+    "PrunedSpace",
+    "RAGConfig",
+    "SynthesisMethod",
+    "full_grid",
+]

@@ -1,0 +1,40 @@
+"""METIS core: the paper's contribution.
+
+Per-query configuration adaptation for RAG: an LLM query profiler
+(§4.1), rule-based mapping from profiles to pruned configuration spaces
+(§4.2, Algorithm 1), a joint configuration/scheduling best-fit decision
+against live GPU memory (§4.3), and the refinements of §5 (confidence
+thresholding, golden-configuration feedback).
+"""
+
+from repro.core.controller import MetisConfig, MetisPolicy
+from repro.core.feedback import FeedbackLoop
+from repro.core.mapping import map_profile_to_space
+from repro.core.policy import Decision, PrepResult, RAGPolicy, SchedulingView
+from repro.core.profiler import (
+    GPT4O_PROFILER,
+    LLAMA70B_PROFILER,
+    LLMProfiler,
+    ProfilerModelSpec,
+)
+from repro.core.profiles import QueryProfile, profile_is_good
+from repro.core.scheduler import JointDecision, JointScheduler
+
+__all__ = [
+    "Decision",
+    "FeedbackLoop",
+    "GPT4O_PROFILER",
+    "JointDecision",
+    "JointScheduler",
+    "LLAMA70B_PROFILER",
+    "LLMProfiler",
+    "MetisConfig",
+    "MetisPolicy",
+    "PrepResult",
+    "ProfilerModelSpec",
+    "QueryProfile",
+    "RAGPolicy",
+    "SchedulingView",
+    "map_profile_to_space",
+    "profile_is_good",
+]

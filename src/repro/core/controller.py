@@ -1,0 +1,193 @@
+"""The METIS controller: profiler → Algorithm 1 → joint scheduler.
+
+:class:`MetisPolicy` wires the paper's pipeline (Fig 7) behind the
+generic :class:`~repro.core.policy.RAGPolicy` interface. Knob-level
+switches (``adapt_*``), the selection mode, and memory awareness exist
+so that the paper's ablations (Fig 12, Fig 16) are configurations of
+the same controller rather than separate code paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.config.space import PrunedSpace
+from repro.core.feedback import FeedbackConfig, FeedbackLoop
+from repro.core.mapping import map_profile_to_space
+from repro.core.policy import Decision, PrepResult, RAGPolicy, SchedulingView
+from repro.core.profiler import GPT4O_PROFILER, LLMProfiler, ProfilerModelSpec
+from repro.data.types import Query
+from repro.util.validation import check_probability
+
+__all__ = ["MetisConfig", "MetisPolicy"]
+
+
+@dataclass(frozen=True)
+class MetisConfig:
+    """Controller configuration (defaults = the full METIS system)."""
+
+    profiler_spec: ProfilerModelSpec = GPT4O_PROFILER
+    confidence_threshold: float = 0.90
+    recent_spaces: int = 10
+    memory_buffer_frac: float = 0.02
+    chunk_slack: float = 3.0
+    ilen_steps: int = 4
+    # Refinements (§5).
+    enable_confidence_fallback: bool = True
+    enable_feedback: bool = False
+    feedback: FeedbackConfig = field(default_factory=FeedbackConfig)
+    # Ablation switches (Fig 12 / Fig 16).
+    adapt_num_chunks: bool = True
+    adapt_synthesis: bool = True
+    adapt_intermediate_length: bool = True
+    memory_aware: bool = True
+    #: "best_fit" (METIS), "median" (strawman of §4.3) or "max"
+    #: (quality-maximising, what AdaptiveRAG*-style tuners do).
+    selection_mode: str = "best_fit"
+    #: Values used when a knob's adaptation is disabled.
+    fixed_num_chunks: int = 20
+    fixed_intermediate_length: int = 100
+
+    def __post_init__(self) -> None:
+        check_probability("confidence_threshold", self.confidence_threshold)
+        if self.selection_mode not in ("best_fit", "median", "max"):
+            raise ValueError(
+                f"unknown selection_mode: {self.selection_mode!r}"
+            )
+        if self.recent_spaces < 1:
+            raise ValueError(f"recent_spaces must be >= 1, got {self.recent_spaces}")
+
+
+class MetisPolicy(RAGPolicy):
+    """The full METIS system (and, via flags, its ablations)."""
+
+    engine_policy = "app-aware"
+
+    def __init__(
+        self,
+        metadata_tokens: int,
+        chunk_tokens: int,
+        config: MetisConfig | None = None,
+        seed: int = 0,
+        name: str = "metis",
+    ) -> None:
+        from repro.core.scheduler import JointScheduler
+
+        self.config = config or MetisConfig()
+        self.name = name
+        self.profiler = LLMProfiler(
+            self.config.profiler_spec, metadata_tokens, seed=seed
+        )
+        self.scheduler = JointScheduler(self.config.memory_buffer_frac)
+        self.feedback: FeedbackLoop | None = None
+        if self.config.enable_feedback:
+            self.feedback = FeedbackLoop(
+                profiler=self.profiler,
+                config=self.config.feedback,
+                chunk_tokens=chunk_tokens,
+            )
+        self._recent_spaces: deque[PrunedSpace] = deque(
+            maxlen=self.config.recent_spaces
+        )
+        self._queries_by_id: dict[str, Query] = {}
+
+    # ------------------------------------------------------------------
+    def prepare(self, query: Query) -> PrepResult:
+        """Run the profiler call (latency + dollars charged upstream)."""
+        result = self.profiler.profile(query)
+        return PrepResult(
+            profile=result.profile,
+            api_seconds=result.api_seconds,
+            dollars=result.dollars,
+            input_tokens=result.input_tokens,
+            output_tokens=result.output_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    def choose(self, query: Query, prep: PrepResult,
+               view: SchedulingView) -> Decision:
+        assert prep.profile is not None, "MetisPolicy requires a profile"
+        profile = prep.profile
+
+        used_recent = False
+        if (
+            self.config.enable_confidence_fallback
+            and profile.confidence < self.config.confidence_threshold
+            and self._recent_spaces
+        ):
+            # Low-confidence profile: reuse the pruned spaces of the
+            # most recent confident queries (§5).
+            pruned = self._merge_recent()
+            used_recent = True
+        else:
+            pruned = map_profile_to_space(
+                profile,
+                chunk_slack=self.config.chunk_slack,
+                ilen_steps=self.config.ilen_steps,
+            )
+            if profile.confidence >= self.config.confidence_threshold:
+                self._recent_spaces.append(pruned)
+
+        pruned = self._apply_knob_switches(pruned)
+        decision = self._select(pruned, view)
+        self._queries_by_id[query.query_id] = query
+        return replace(decision, used_recent_spaces=used_recent)
+
+    # ------------------------------------------------------------------
+    def on_complete(self, query: Query, f1: float, delay: float) -> None:
+        if self.feedback is not None:
+            self.feedback.on_query_complete(query)
+
+    # ------------------------------------------------------------------
+    def _merge_recent(self) -> PrunedSpace:
+        spaces = list(self._recent_spaces)
+        merged = spaces[0]
+        for space in spaces[1:]:
+            merged = merged.merge(space)
+        return merged
+
+    def _apply_knob_switches(self, pruned: PrunedSpace) -> PrunedSpace:
+        """Clamp un-adapted knobs to their fixed values (Fig 16)."""
+        cfg = self.config
+        methods = pruned.methods
+        chunks = pruned.num_chunks_range
+        ilen = pruned.intermediate_length_range
+        if not cfg.adapt_synthesis:
+            methods = (SynthesisMethod.STUFF,)
+        if not cfg.adapt_num_chunks:
+            chunks = (cfg.fixed_num_chunks, cfg.fixed_num_chunks)
+        if not cfg.adapt_intermediate_length:
+            ilen = (cfg.fixed_intermediate_length, cfg.fixed_intermediate_length)
+        return PrunedSpace(
+            methods=methods,
+            num_chunks_range=chunks,
+            intermediate_length_range=ilen,
+            ilen_steps=pruned.ilen_steps,
+        )
+
+    def _select(self, pruned: PrunedSpace, view: SchedulingView) -> Decision:
+        if self.config.selection_mode == "median":
+            return Decision(config=pruned.median_config(), pruned_space=pruned)
+        if self.config.selection_mode == "max" or not self.config.memory_aware:
+            # Quality-maximising pick; best_fit without memory awareness
+            # degenerates to the same thing.
+            return Decision(
+                config=pruned.most_expensive_config(), pruned_space=pruned
+            )
+        decision = self.scheduler.choose(pruned, view)
+        return Decision(
+            config=decision.config,
+            pruned_space=pruned,
+            fell_back=decision.fell_back,
+            notes={
+                "n_candidates": decision.n_candidates,
+                "n_fitting": decision.n_fitting,
+            },
+        )
+
+    def describe(self) -> str:
+        mode = self.config.selection_mode
+        mem = "mem-aware" if self.config.memory_aware else "mem-oblivious"
+        return f"{self.name} ({self.config.profiler_spec.name}, {mode}, {mem})"

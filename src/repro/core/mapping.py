@@ -1,0 +1,65 @@
+"""Rule-based mapping from query profile to pruned config space.
+
+This is the paper's Algorithm 1, verbatim:
+
+| profile                         | synthesis methods        |
+|---------------------------------|--------------------------|
+| joint reasoning = no            | ``map_rerank``           |
+| joint = yes, complexity = low   | ``stuff``                |
+| joint = yes, complexity = high  | ``stuff``, ``map_reduce``|
+
+``num_chunks`` range is ``[pieces, 3 * pieces]`` (retrieval slack +
+scheduler room, §4.2), and the ``intermediate_length`` range is the
+profiler's summary-length estimate.
+"""
+
+from __future__ import annotations
+
+from repro.config.knobs import SynthesisMethod
+from repro.config.space import PrunedSpace
+from repro.core.profiles import QueryProfile
+
+__all__ = ["map_profile_to_space", "MAX_NUM_CHUNKS"]
+
+#: Retrieving beyond this never helps (paper sweeps up to 35 chunks).
+MAX_NUM_CHUNKS = 35
+
+_MIN_ILEN, _MAX_ILEN = 20, 200
+
+
+def map_profile_to_space(
+    profile: QueryProfile,
+    chunk_slack: float = 3.0,
+    ilen_steps: int = 4,
+) -> PrunedSpace:
+    """Apply Algorithm 1 to one profile.
+
+    Args:
+        chunk_slack: upper multiplier on pieces for the ``num_chunks``
+            range (the paper's 3×, made explicit for ablation).
+        ilen_steps: materialisation granularity of the
+            ``intermediate_length`` range for the joint scheduler.
+    """
+    if chunk_slack < 1.0:
+        raise ValueError(f"chunk_slack must be >= 1, got {chunk_slack}")
+
+    if not profile.joint_reasoning:
+        methods: tuple[SynthesisMethod, ...] = (SynthesisMethod.MAP_RERANK,)
+    elif not profile.complexity_high:
+        methods = (SynthesisMethod.STUFF,)
+    else:
+        methods = (SynthesisMethod.STUFF, SynthesisMethod.MAP_REDUCE)
+
+    lo = max(1, min(profile.pieces, MAX_NUM_CHUNKS))
+    hi = max(lo, min(int(round(chunk_slack * profile.pieces)), MAX_NUM_CHUNKS))
+
+    ilen_lo, ilen_hi = profile.summary_range
+    ilen_lo = max(_MIN_ILEN, min(ilen_lo, _MAX_ILEN))
+    ilen_hi = max(ilen_lo, min(ilen_hi, _MAX_ILEN))
+
+    return PrunedSpace(
+        methods=methods,
+        num_chunks_range=(lo, hi),
+        intermediate_length_range=(ilen_lo, ilen_hi),
+        ilen_steps=ilen_steps,
+    )

@@ -1,0 +1,104 @@
+"""The serving-policy interface every system implements.
+
+A policy is consulted twice per query by the experiment runner:
+
+1. :meth:`RAGPolicy.prepare` at arrival — runs the (optional) profiler
+   call and returns its latency/cost; the runner simulates that latency
+   before proceeding.
+2. :meth:`RAGPolicy.choose` when the profiler returns — sees a
+   :class:`SchedulingView` of the engine at *that* moment (free KV
+   memory, plan estimator) and commits to a :class:`RAGConfig`.
+
+METIS, the fixed-config baselines, Parrot*, and AdaptiveRAG* are all
+implementations of this interface; they differ only in what they do in
+these two hooks and in which engine scheduling policy they request.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config.knobs import RAGConfig
+from repro.config.space import PrunedSpace
+from repro.core.profiles import QueryProfile
+from repro.data.types import Query
+from repro.synthesis.plans import SynthesisPlan
+
+__all__ = ["PrepResult", "SchedulingView", "Decision", "RAGPolicy"]
+
+
+@dataclass(frozen=True)
+class PrepResult:
+    """Outcome of the arrival-time phase (profiler call, if any)."""
+
+    profile: QueryProfile | None = None
+    api_seconds: float = 0.0
+    dollars: float = 0.0
+    input_tokens: int = 0
+    output_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class SchedulingView:
+    """A policy's window onto the system at decision time.
+
+    Attributes:
+        available_kv_bytes: free KV memory net of queued demand — the
+            signal METIS' joint scheduler consumes.
+        estimate_plan: builds the synthesis plan a config would produce
+            (using the dataset's nominal chunk size), so policies can
+            size memory/compute without retrieving.
+    """
+
+    now: float
+    free_kv_bytes: float
+    available_kv_bytes: float
+    kv_bytes_per_token: float
+    chunk_tokens: int
+    query_tokens: int
+    answer_tokens: int
+    estimate_plan: Callable[[RAGConfig], SynthesisPlan]
+
+    def plan_fits(self, plan: SynthesisPlan, buffer_frac: float = 0.02) -> bool:
+        """Whether a plan's minimum resident footprint fits right now."""
+        need = plan.fit_tokens * self.kv_bytes_per_token * (1.0 + buffer_frac)
+        return need <= self.available_kv_bytes
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A policy's committed configuration for one query."""
+
+    config: RAGConfig
+    pruned_space: PrunedSpace | None = None
+    fell_back: bool = False
+    used_recent_spaces: bool = False
+    notes: dict = field(default_factory=dict)
+
+
+class RAGPolicy(ABC):
+    """Base class for all serving systems under evaluation."""
+
+    #: Display name used in reports.
+    name: str = "base"
+    #: Engine scheduling policy this system runs with
+    #: ("fcfs" = vLLM-style, "app-aware" = Parrot-style).
+    engine_policy: str = "fcfs"
+
+    def prepare(self, query: Query) -> PrepResult:
+        """Arrival-time phase; default: no profiler, zero latency."""
+        return PrepResult()
+
+    @abstractmethod
+    def choose(self, query: Query, prep: PrepResult,
+               view: SchedulingView) -> Decision:
+        """Commit to a configuration given the current system state."""
+
+    def on_complete(self, query: Query, f1: float, delay: float) -> None:
+        """Completion hook (feedback loops); default: no-op."""
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name

@@ -1,0 +1,149 @@
+"""Joint configuration/scheduling decision (§4.3).
+
+Within the pruned space the quality is uniformly high, so the scheduler
+optimises purely for the resource fit:
+
+* enumerate the pruned configurations and size their synthesis plans;
+* keep those whose minimum resident footprint (largest single LLM call,
+  +2% buffer) fits in currently available KV memory;
+* pick the *most expensive* fitting configuration (highest total KV
+  footprint) — richer configurations sit at the quality ceiling of the
+  pruned space;
+* if nothing fits, fall back to a cheap configuration just outside the
+  range: ``map_rerank`` (no joint reasoning needed) or ``stuff`` (joint
+  needed) with as many chunks as fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.config.space import PrunedSpace
+from repro.core.policy import SchedulingView
+from repro.synthesis.plans import SynthesisPlan
+from repro.util.validation import check_in_range
+
+__all__ = ["JointDecision", "JointScheduler"]
+
+
+@dataclass(frozen=True)
+class JointDecision:
+    """The scheduler's pick plus search diagnostics."""
+
+    config: RAGConfig
+    plan: SynthesisPlan
+    fell_back: bool
+    n_candidates: int
+    n_fitting: int
+
+
+class JointScheduler:
+    """Best-fit configuration selection against live GPU memory."""
+
+    def __init__(self, memory_buffer_frac: float = 0.02) -> None:
+        check_in_range("memory_buffer_frac", memory_buffer_frac, 0.0, 0.5)
+        self.memory_buffer_frac = memory_buffer_frac
+
+    # ------------------------------------------------------------------
+    def choose(self, pruned: PrunedSpace, view: SchedulingView) -> JointDecision:
+        """Pick the most expensive configuration that fits right now.
+
+        Two fit granularities, tried in order:
+
+        1. **Whole-plan fit** — the config's total KV footprint fits in
+           available memory. This is the normal path; under load it
+           naturally throttles ``num_chunks`` to what the GPU can
+           absorb without queueing.
+        2. **Unit fit** — only the largest single call needs to fit.
+           This is the paper's Fig 8 situation: a ``stuff`` prompt is
+           too big, but ``map_reduce`` mappers are individually small
+           and can stream through the batch one after another.
+        """
+        candidates = [
+            (config, view.estimate_plan(config))
+            for config in pruned.enumerate()
+        ]
+        n_candidates = len(candidates)
+
+        best: tuple[int, RAGConfig, SynthesisPlan] | None = None
+        n_fitting = 0
+        for config, plan in candidates:
+            if not self._whole_plan_fits(plan, view):
+                continue
+            n_fitting += 1
+            if best is None or plan.cost_tokens > best[0]:
+                best = (plan.cost_tokens, config, plan)
+
+        if best is None:
+            # Fig 8 pass: accept plans whose schedulable unit fits.
+            for config, plan in candidates:
+                if not view.plan_fits(plan, self.memory_buffer_frac):
+                    continue
+                n_fitting += 1
+                # Prefer the *smallest* unit-fit plan here: memory is
+                # scarce, so commit to the least total work among the
+                # configurations that can still make progress.
+                if best is None or plan.cost_tokens < best[0]:
+                    best = (plan.cost_tokens, config, plan)
+
+        if best is not None:
+            _, config, plan = best
+            return JointDecision(
+                config=config,
+                plan=plan,
+                fell_back=False,
+                n_candidates=n_candidates,
+                n_fitting=n_fitting,
+            )
+        config = self._fallback_config(pruned, view)
+        return JointDecision(
+            config=config,
+            plan=view.estimate_plan(config),
+            fell_back=True,
+            n_candidates=n_candidates,
+            n_fitting=0,
+        )
+
+    def _whole_plan_fits(self, plan: SynthesisPlan,
+                         view: SchedulingView) -> bool:
+        need = (
+            plan.cost_tokens
+            * view.kv_bytes_per_token
+            * (1.0 + self.memory_buffer_frac)
+        )
+        return need <= view.available_kv_bytes
+
+    # ------------------------------------------------------------------
+    def _fallback_config(self, pruned: PrunedSpace,
+                         view: SchedulingView) -> RAGConfig:
+        """Cheap fitting configuration outside the pruned range (§4.3).
+
+        ``map_rerank`` when the profile says no joint reasoning is
+        needed, else ``stuff``; in both cases with as many chunks as
+        fit into available memory (at least one — a single-chunk
+        request may still have to queue briefly, which is the best any
+        system can do).
+        """
+        joint = SynthesisMethod.MAP_RERANK not in pruned.methods
+        lo, hi = pruned.num_chunks_range
+        budget_tokens = view.available_kv_bytes / (
+            view.kv_bytes_per_token * (1.0 + self.memory_buffer_frac)
+        )
+        per_chunk = view.chunk_tokens
+        fixed = view.query_tokens + view.answer_tokens + 48  # template slack
+        if joint:
+            # One stuff call: fixed + k * chunk must fit.
+            k = int((budget_tokens - fixed) // per_chunk)
+            method = SynthesisMethod.STUFF
+        else:
+            # k map_rerank calls, each fixed + chunk tokens.
+            per_call = fixed + per_chunk
+            k = int(budget_tokens // per_call)
+            method = SynthesisMethod.MAP_RERANK
+        # The fallback must still "meet the requirement for the current
+        # query" (§4.3): never drop below the profile's pieces estimate
+        # (the pruned range's lower bound), even if that means brief
+        # queueing under a memory burst.
+        k = max(min(lo, hi), min(k, hi))
+        return RAGConfig(method, k)

@@ -1,0 +1,36 @@
+"""Synthetic RAG-QA datasets mirroring the paper's four workloads.
+
+* ``squad``   — single-hop reading comprehension (short passages),
+* ``musique`` — multi-hop reasoning QA (facts spread across documents),
+* ``finsec``  — document-level financial QA (long quarterly reports),
+* ``qmsum``   — query-based meeting summarisation (long transcripts).
+
+Each generator produces a :class:`DatasetBundle`: an indexed corpus with
+known fact placement, queries with latent ground-truth profiles, and the
+calibrated quality parameters for the behavioural generation model.
+"""
+
+from repro.data.datasets import (
+    DATASET_NAMES,
+    build_dataset,
+    get_spec,
+)
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.facts import Fact
+from repro.data.types import DatasetBundle, Query, QueryTruth
+from repro.data.workload import Arrival, poisson_arrivals, sequential_arrivals
+
+__all__ = [
+    "Arrival",
+    "DATASET_NAMES",
+    "DatasetBundle",
+    "DatasetSpec",
+    "Fact",
+    "Query",
+    "QueryTruth",
+    "build_dataset",
+    "generate_dataset",
+    "get_spec",
+    "poisson_arrivals",
+    "sequential_arrivals",
+]

@@ -1,0 +1,71 @@
+"""Dollar-cost accounting (paper Fig 13).
+
+Two cost sources are modelled:
+
+* **API calls** (profiler, hosted inference models) billed at per-token
+  rates from the :class:`~repro.llm.model.ModelSpec`.
+* **Self-hosted serving** billed as GPU-seconds of busy time, amortised
+  at an on-demand rental price — this is how the paper compares METIS
+  (7B + profiler) against larger fixed-config inference models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.gpu import ClusterSpec
+from repro.llm.model import ModelSpec
+from repro.util.validation import check_non_negative
+
+__all__ = ["DollarCostModel", "CostLedger"]
+
+
+@dataclass(frozen=True)
+class DollarCostModel:
+    """Prices one query's resource usage in dollars."""
+
+    dollar_per_gpu_hour: float = 0.79  # A40 on-demand
+
+    def api_call(self, model: ModelSpec, input_tokens: int,
+                 output_tokens: int) -> float:
+        """Cost of a hosted API call."""
+        check_non_negative("input_tokens", input_tokens)
+        check_non_negative("output_tokens", output_tokens)
+        return model.dollar_cost(input_tokens, output_tokens)
+
+    def gpu_time(self, cluster: ClusterSpec, busy_seconds: float) -> float:
+        """Cost of occupying a (possibly multi-GPU) cluster."""
+        check_non_negative("busy_seconds", busy_seconds)
+        return busy_seconds * cluster.dollar_per_second(self.dollar_per_gpu_hour)
+
+
+@dataclass
+class CostLedger:
+    """Accumulates the dollar cost of one experiment run."""
+
+    model: DollarCostModel = field(default_factory=DollarCostModel)
+    api_dollars: float = 0.0
+    gpu_dollars: float = 0.0
+    n_api_calls: int = 0
+
+    def charge_api(self, spec: ModelSpec, input_tokens: int,
+                   output_tokens: int) -> float:
+        cost = self.model.api_call(spec, input_tokens, output_tokens)
+        self.api_dollars += cost
+        self.n_api_calls += 1
+        return cost
+
+    def charge_gpu(self, cluster: ClusterSpec, busy_seconds: float) -> float:
+        cost = self.model.gpu_time(cluster, busy_seconds)
+        self.gpu_dollars += cost
+        return cost
+
+    @property
+    def total_dollars(self) -> float:
+        return self.api_dollars + self.gpu_dollars
+
+    def per_query(self, n_queries: int) -> float:
+        """Average dollars per query (0 when no queries ran)."""
+        if n_queries <= 0:
+            return 0.0
+        return self.total_dollars / n_queries

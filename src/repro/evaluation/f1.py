@@ -1,0 +1,42 @@
+"""Token-level F1 — the paper's response-quality metric (§2).
+
+F1 is the harmonic mean of precision (fraction of generated tokens that
+are correct) and recall (fraction of reference tokens that were
+generated), computed over token *multisets* as in SQuAD evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["token_f1", "precision_recall"]
+
+
+def precision_recall(
+    predicted: Sequence[str], reference: Sequence[str]
+) -> tuple[float, float]:
+    """Multiset token precision and recall of ``predicted`` vs ``reference``.
+
+    >>> precision_recall(["a", "b"], ["a", "c"])
+    (0.5, 0.5)
+    """
+    if not predicted or not reference:
+        return 0.0, 0.0
+    overlap = Counter(predicted) & Counter(reference)
+    n_common = sum(overlap.values())
+    return n_common / len(predicted), n_common / len(reference)
+
+
+def token_f1(predicted: Sequence[str], reference: Sequence[str]) -> float:
+    """Token-multiset F1 score in [0, 1].
+
+    >>> token_f1(["the", "eiffel", "tower"], ["eiffel", "tower"])
+    0.8
+    >>> token_f1([], ["x"])
+    0.0
+    """
+    precision, recall = precision_recall(predicted, reference)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

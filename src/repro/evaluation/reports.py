@@ -1,0 +1,85 @@
+"""Plain-text table formatting for experiment reports.
+
+Every benchmark regenerates a paper table/figure as rows of
+``{column: value}``; this module renders them uniformly so the bench
+output is directly comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_ratio", "Reporter"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    >>> print(format_table([{"n": 1}, {"n": 2}]))
+    n
+    -
+    1
+    2
+    """
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Render a speedup/ratio defensively (Inf-safe)."""
+    if denominator <= 0:
+        return "n/a"
+    return f"{numerator / denominator:.2f}x"
+
+
+class Reporter:
+    """Collects lines and prints them once (keeps bench output tidy)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lines: list[str] = [f"===== {name} ====="]
+
+    def add(self, text: str = "") -> None:
+        self._lines.append(text)
+
+    def add_table(self, rows, columns=None, title=None) -> None:
+        self._lines.append(format_table(rows, columns, title))
+
+    def text(self) -> str:
+        return "\n".join(self._lines)
+
+    def emit(self) -> None:
+        print()
+        print(self.text())

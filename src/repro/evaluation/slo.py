@@ -1,0 +1,74 @@
+"""SLO (service-level objective) analysis over run results.
+
+The paper notes (§4.3) that METIS' loose decoupling "allows SLO-based
+constraints on RAG queries if certain queries have strict budgets on
+their generation latency". This module provides the measurement side:
+per-run SLO attainment, the delay budget needed for a target attainment,
+and goodput (queries per second completed within the SLO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.runner import RunResult
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["SLOReport", "evaluate_slo", "required_budget", "goodput_qps"]
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Attainment of one latency SLO by one run."""
+
+    slo_seconds: float
+    n_queries: int
+    n_within: int
+    attainment: float
+    goodput_qps: float
+    worst_excess_seconds: float
+
+    def meets(self, target_attainment: float = 0.99) -> bool:
+        """Whether the run meets the SLO at the target attainment."""
+        check_probability("target_attainment", target_attainment)
+        return self.attainment >= target_attainment
+
+
+def evaluate_slo(result: RunResult, slo_seconds: float) -> SLOReport:
+    """Score a run against a latency SLO."""
+    check_positive("slo_seconds", slo_seconds)
+    delays = np.asarray([r.e2e_delay for r in result.records])
+    if delays.size == 0:
+        return SLOReport(slo_seconds, 0, 0, 0.0, 0.0, 0.0)
+    within = int((delays <= slo_seconds).sum())
+    worst_excess = float(max(0.0, delays.max() - slo_seconds))
+    goodput = within / result.makespan if result.makespan > 0 else 0.0
+    return SLOReport(
+        slo_seconds=slo_seconds,
+        n_queries=int(delays.size),
+        n_within=within,
+        attainment=within / delays.size,
+        goodput_qps=goodput,
+        worst_excess_seconds=worst_excess,
+    )
+
+
+def required_budget(result: RunResult,
+                    target_attainment: float = 0.99) -> float:
+    """The smallest latency budget meeting the target attainment.
+
+    This is the delay percentile the deployer must provision for; e.g.
+    ``required_budget(run, 0.9)`` is the p90 delay.
+    """
+    check_probability("target_attainment", target_attainment)
+    delays = [r.e2e_delay for r in result.records]
+    if not delays:
+        return 0.0
+    return float(np.percentile(np.asarray(delays), 100 * target_attainment))
+
+
+def goodput_qps(result: RunResult, slo_seconds: float) -> float:
+    """Throughput counting only queries served within the SLO."""
+    return evaluate_slo(result, slo_seconds).goodput_qps

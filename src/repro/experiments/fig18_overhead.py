@@ -1,0 +1,43 @@
+"""Fig 18: the profiler is at most 1/10 of end-to-end delay.
+
+Reports the distribution of per-query profiler delay fraction for
+METIS runs on every dataset (paper: mean 0.03–0.06, max ≈ 0.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import DATASET_NAMES
+from repro.experiments.common import (
+    ExperimentReport,
+    load_bundle,
+    make_metis,
+    run_policy,
+)
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentReport:
+    report = ExperimentReport("Fig 18: profiler delay fraction")
+    for dataset in DATASET_NAMES:
+        bundle = load_bundle(dataset, fast, seed)
+        result = run_policy(bundle, make_metis(bundle, seed=seed), seed=seed)
+        fractions = np.asarray([r.profiler_fraction for r in result.records])
+        report.add_row(
+            dataset=dataset,
+            mean_fraction=float(fractions.mean()),
+            p50_fraction=float(np.percentile(fractions, 50)),
+            p90_fraction=float(np.percentile(fractions, 90)),
+            max_fraction=float(fractions.max()),
+            mean_profiler_s=float(
+                np.mean([r.profiler_seconds for r in result.records])
+            ),
+        )
+    report.add_note(
+        "paper: average fraction 0.03-0.06, max ~0.1 (squad's short "
+        "service times inflate the fraction in the simulator; see "
+        "EXPERIMENTS.md)"
+    )
+    return report

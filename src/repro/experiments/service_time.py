@@ -1,0 +1,30 @@
+"""Isolated (contention-free) execution-time estimates for one plan.
+
+Fig 4 and Fig 5 characterise configurations' *intrinsic* quality-delay
+tradeoffs, so they use an uncontended execution model: each stage
+prefills at full throughput and decodes its longest call, stages run
+back-to-back. The end-to-end experiments (Fig 10+) use the full engine
+simulation instead.
+"""
+
+from __future__ import annotations
+
+from repro.llm.costs import RooflineCostModel
+from repro.synthesis.plans import SynthesisPlan
+
+__all__ = ["isolated_plan_seconds"]
+
+
+def isolated_plan_seconds(plan: SynthesisPlan, cost: RooflineCostModel) -> float:
+    """Wall-clock to run ``plan`` alone on an idle engine."""
+    total = 0.0
+    for stage in range(plan.n_stages):
+        calls = plan.stage_calls(stage)
+        prefill_tokens = sum(c.prompt_tokens for c in calls)
+        total += cost.prefill_seconds(prefill_tokens)
+        # All calls of a stage decode together in one batch; the stage
+        # ends when its longest output finishes.
+        kv = sum(c.total_tokens for c in calls)
+        longest = max(c.output_tokens for c in calls)
+        total += longest * cost.decode_step_seconds(kv, len(calls))
+    return total

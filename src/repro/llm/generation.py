@@ -1,0 +1,124 @@
+"""Sampled answer generation on top of the quality model.
+
+:class:`SimulatedGenerator` turns the per-fact recovery probabilities of
+:class:`~repro.llm.quality.QualityModel` into a concrete answer token
+sequence — recovered facts contribute (possibly paraphrased) value
+tokens, missed facts may hallucinate, and context dilution injects noise
+tokens — and scores it with real token-F1 against the ground truth.
+
+Determinism: the sampling seed is derived from ``(root_seed, query_id,
+config)``, so re-running any experiment reproduces identical answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.knobs import RAGConfig
+from repro.evaluation.f1 import token_f1
+from repro.llm.quality import QualityModel, SynthesisContext
+from repro.util.rng import derive_seed
+
+__all__ = ["GeneratedAnswer", "SimulatedGenerator"]
+
+
+@dataclass(frozen=True)
+class GeneratedAnswer:
+    """The outcome of one simulated generation.
+
+    Attributes:
+        tokens: the emitted answer token sequence.
+        f1: token-F1 against the query's ground truth.
+        coverage: fraction of required facts recovered.
+        n_recovered / n_required: fact bookkeeping for diagnostics.
+        expected_f1: the analytic expectation for the same
+            (context, config) pair, useful for variance analysis.
+    """
+
+    query_id: str
+    config: RAGConfig
+    tokens: tuple[str, ...]
+    f1: float
+    coverage: float
+    n_recovered: int
+    n_required: int
+    expected_f1: float
+
+
+@dataclass
+class SimulatedGenerator:
+    """Samples answers for (context, config) pairs, deterministically."""
+
+    quality: QualityModel = field(default_factory=QualityModel)
+    root_seed: int = 0
+
+    def _rng(self, ctx: SynthesisContext, config: RAGConfig) -> np.random.Generator:
+        seed = derive_seed(self.root_seed, "generation", ctx.query_id, config.label())
+        return np.random.default_rng(seed)
+
+    def generate(self, ctx: SynthesisContext, config: RAGConfig) -> GeneratedAnswer:
+        """Sample one answer and score it.
+
+        The emitted sequence is built from four parts:
+
+        * template tokens (each paraphrased with small probability),
+        * value tokens of recovered facts (paraphrased per
+          ``token_match_rate``),
+        * hallucinated values for some missed facts,
+        * Poisson-distributed noise tokens from context dilution.
+        """
+        params = self.quality.params
+        rng = self._rng(ctx, config)
+        probs = self.quality.fact_recovery_probs(
+            ctx, config.synthesis_method, config.intermediate_length
+        )
+        wrong = _WrongTokens()
+        tokens: list[str] = []
+        for tok in ctx.answer_template_tokens:
+            if rng.random() < params.template_match_rate:
+                tokens.append(tok)
+            else:
+                tokens.append(wrong.next())
+        n_recovered = 0
+        for fact in ctx.required_facts:
+            if rng.random() < probs.get(fact.fact_id, 0.0):
+                n_recovered += 1
+                for tok in fact.value_tokens:
+                    if rng.random() < params.token_match_rate:
+                        tokens.append(tok)
+                    else:
+                        tokens.append(wrong.next())
+            elif rng.random() < params.hallucination_prob:
+                tokens.extend(wrong.next() for _ in fact.value_tokens)
+        n_noise = int(rng.poisson(
+            self.quality.expected_noise_tokens(ctx, config.synthesis_method)
+        ))
+        tokens.extend(wrong.next() for _ in range(n_noise))
+
+        ground_truth = ctx.ground_truth_tokens()
+        n_required = len(ctx.required_facts)
+        return GeneratedAnswer(
+            query_id=ctx.query_id,
+            config=config,
+            tokens=tuple(tokens),
+            f1=token_f1(tokens, ground_truth),
+            coverage=n_recovered / n_required if n_required else 0.0,
+            n_recovered=n_recovered,
+            n_required=n_required,
+            expected_f1=self.quality.expected_f1(
+                ctx, config.synthesis_method, config.intermediate_length
+            ),
+        )
+
+
+class _WrongTokens:
+    """Emits tokens guaranteed never to match any reference token."""
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def next(self) -> str:
+        self._n += 1
+        return f"≠wrong{self._n}"

@@ -1,0 +1,105 @@
+"""GPU hardware specifications and multi-GPU cluster composition.
+
+The paper's testbed is an NVIDIA A40 server (48 GB/GPU); Mistral-7B is
+served on one GPU and Llama-3.1-70B on two (tensor-parallel). The specs
+here feed the roofline cost model and the GPU memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["GPUSpec", "ClusterSpec", "A40", "A100_80G"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU.
+
+    Attributes:
+        name: marketing name, e.g. ``"A40"``.
+        memory_bytes: total HBM capacity.
+        peak_flops: peak dense fp16 tensor throughput (FLOP/s).
+        mem_bandwidth: HBM bandwidth (bytes/s).
+        mfu: model FLOPs utilisation actually achieved by the serving
+            engine (fraction of peak sustained during prefill).
+    """
+
+    name: str
+    memory_bytes: float
+    peak_flops: float
+    mem_bandwidth: float
+    mfu: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("peak_flops", self.peak_flops)
+        check_positive("mem_bandwidth", self.mem_bandwidth)
+        check_in_range("mfu", self.mfu, 0.01, 1.0)
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s the engine extracts during prefill."""
+        return self.peak_flops * self.mfu
+
+
+A40 = GPUSpec(
+    name="A40",
+    memory_bytes=48 * GB,
+    peak_flops=149.7e12,
+    mem_bandwidth=696e9,
+    mfu=0.72,
+)
+
+A100_80G = GPUSpec(
+    name="A100-80G",
+    memory_bytes=80 * GB,
+    peak_flops=312e12,
+    mem_bandwidth=2_039e9,
+    mfu=0.5,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A tensor-parallel group of identical GPUs serving one model.
+
+    ``tp_efficiency`` discounts compute/bandwidth scaling for the
+    all-reduce overhead of tensor parallelism (1 GPU == 1.0).
+    """
+
+    gpu: GPUSpec
+    n_gpus: int = 1
+    tp_efficiency: float = 0.88
+
+    def __post_init__(self) -> None:
+        check_positive("n_gpus", self.n_gpus)
+        check_in_range("tp_efficiency", self.tp_efficiency, 0.1, 1.0)
+
+    @property
+    def _scale(self) -> float:
+        if self.n_gpus == 1:
+            return 1.0
+        return self.n_gpus * self.tp_efficiency
+
+    @property
+    def memory_bytes(self) -> float:
+        """Pooled HBM across the tensor-parallel group."""
+        return self.gpu.memory_bytes * self.n_gpus
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s across the group, net of TP overhead."""
+        return self.gpu.effective_flops * self._scale
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Aggregate HBM bandwidth across the group, net of TP overhead."""
+        return self.gpu.mem_bandwidth * self._scale
+
+    def dollar_per_second(self, dollar_per_gpu_hour: float = 0.79) -> float:
+        """Amortised rental price of the group (default: A40 on-demand)."""
+        return self.n_gpus * dollar_per_gpu_hour / 3600.0

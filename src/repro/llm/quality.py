@@ -1,0 +1,369 @@
+"""Behavioural model of RAG answer quality.
+
+This module encodes, as an explicit probabilistic model, the four
+quality mechanisms the paper measures (§3, Fig 4):
+
+1. **Coverage** — an answer can only contain facts whose chunks were
+   retrieved and survived synthesis.
+2. **Lost-in-the-middle** — in a long ``stuff`` prompt, facts buried in
+   the middle of the context are recovered with lower probability; the
+   penalty grows with total context length [Liu et al., 2024].
+3. **Summarisation loss** — ``map_reduce`` mappers compress each chunk
+   to ``intermediate_length`` tokens; a fact survives compression with
+   a probability that rises with the summary budget relative to the
+   fact's verbosity.
+4. **Isolation loss** — ``map_rerank`` answers from the single best
+   chunk, so queries needing joint reasoning across chunks lose every
+   fact outside that chunk.
+
+On top of recall, *precision* degrades with the fraction of irrelevant
+context (over-retrieval dilutes the prompt and the model emits noise),
+which produces the paper's observed quality *drop* beyond the optimal
+``num_chunks``.
+
+The model exposes both an analytic expectation (smooth, used for
+per-query oracle sweeps like Fig 4/5) and per-fact probabilities used by
+:mod:`repro.llm.generation` to sample a concrete answer token sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.config.knobs import SynthesisMethod
+from repro.util.validation import check_in_range, check_positive, check_probability
+
+__all__ = ["FactView", "ChunkView", "SynthesisContext", "QualityParams", "QualityModel"]
+
+
+@dataclass(frozen=True)
+class FactView:
+    """A required piece of information, as seen by the quality model.
+
+    Attributes:
+        fact_id: stable identifier.
+        value_tokens: ground-truth answer tokens this fact contributes.
+        verbosity: how many summary tokens are needed to preserve the
+            fact through a mapper (dataset-dependent: Squad facts are
+            terse, QMSUM spans are verbose).
+    """
+
+    fact_id: str
+    value_tokens: tuple[str, ...]
+    verbosity: float = 12.0
+
+
+@dataclass(frozen=True)
+class ChunkView:
+    """A retrieved chunk: its length and the required facts it holds."""
+
+    chunk_id: str
+    n_tokens: int
+    facts: tuple[FactView, ...] = ()
+
+
+@dataclass(frozen=True)
+class SynthesisContext:
+    """Everything quality depends on for one (query, retrieval) pair.
+
+    ``chunks`` are in retrieval-rank order, which is also prompt order
+    for ``stuff`` synthesis.
+    """
+
+    query_id: str
+    complexity_high: bool
+    joint_reasoning: bool
+    required_facts: tuple[FactView, ...]
+    chunks: tuple[ChunkView, ...]
+    answer_template_tokens: tuple[str, ...] = ()
+
+    @property
+    def total_context_tokens(self) -> int:
+        return sum(c.n_tokens for c in self.chunks)
+
+    @property
+    def irrelevant_fraction(self) -> float:
+        """Fraction of context tokens in chunks holding no required fact."""
+        total = self.total_context_tokens
+        if total == 0:
+            return 0.0
+        required_ids = {f.fact_id for f in self.required_facts}
+        irrelevant = sum(
+            c.n_tokens
+            for c in self.chunks
+            if not any(f.fact_id in required_ids for f in c.facts)
+        )
+        return irrelevant / total
+
+    def ground_truth_tokens(self) -> tuple[str, ...]:
+        """The reference answer token sequence for F1 scoring."""
+        tokens = list(self.answer_template_tokens)
+        for fact in self.required_facts:
+            tokens.extend(fact.value_tokens)
+        return tuple(tokens)
+
+
+@dataclass(frozen=True)
+class QualityParams:
+    """Tunable constants of the quality model (dataset-overridable).
+
+    The defaults are calibrated so that the knob→quality response
+    surfaces match the paper's Fig 4 in shape; per-dataset overrides
+    (e.g. ``token_match_rate``) set the absolute F1 operating point.
+    """
+
+    base_recover: float = 0.96
+    # Lost-in-the-middle: penalty depth ramps up with context length
+    # past ``lim_onset_tokens`` and saturates at ``lim_max_depth``;
+    # the dip is a Gaussian centred mid-context with ``lim_width``.
+    lim_onset_tokens: float = 2_048.0
+    lim_scale_tokens: float = 20_000.0
+    lim_max_depth: float = 0.5
+    lim_width: float = 0.20
+    # Complexity interaction: high-complexity queries lose quality
+    # unless synthesis denoises first (map_reduce).
+    rerank_high_complexity_factor: float = 0.70
+    stuff_high_complexity_factor: float = 0.86
+    reduce_high_complexity_factor: float = 1.00
+    # Summarisation survival curve sharpness (see _summary_survival).
+    summary_slack_frac: float = 0.20
+    summary_slack_tokens: float = 2.0
+    # Two-step information loss: even with an ample summary budget, a
+    # mapper summarising one chunk in isolation can drop details the
+    # reduce step would have needed (it lacks cross-chunk context).
+    reduce_recover_factor: float = 0.93
+    # Precision-side noise. Dilution is convex in the irrelevant
+    # fraction (exponent > 1): a prompt that is mostly relevant barely
+    # distracts the model, while an overwhelmingly irrelevant one
+    # drags it off-answer — which is what produces the paper's
+    # "quality drops beyond the optimal num_chunks" cliff (Fig 4b)
+    # while keeping quality nearly flat inside the pruned range.
+    noise_rate_stuff: float = 0.55
+    noise_rate_reduce: float = 0.35
+    noise_rate_rerank: float = 0.15
+    noise_dilution_exponent: float = 2.0
+    hallucination_prob: float = 0.5
+    # Intrinsic task hardness: probability a recovered fact token
+    # matches the reference wording (paraphrase penalty).
+    token_match_rate: float = 0.80
+    template_match_rate: float = 0.90
+
+    def __post_init__(self) -> None:
+        check_probability("base_recover", self.base_recover)
+        check_probability("lim_max_depth", self.lim_max_depth)
+        check_positive("lim_width", self.lim_width)
+        check_probability("token_match_rate", self.token_match_rate)
+        check_probability("template_match_rate", self.template_match_rate)
+        check_probability("hallucination_prob", self.hallucination_prob)
+        check_in_range("rerank_high_complexity_factor",
+                       self.rerank_high_complexity_factor, 0.0, 1.0)
+        check_in_range("stuff_high_complexity_factor",
+                       self.stuff_high_complexity_factor, 0.0, 1.0)
+        check_in_range("reduce_high_complexity_factor",
+                       self.reduce_high_complexity_factor, 0.0, 1.0)
+
+
+def _sigmoid(x: float) -> float:
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+@dataclass
+class QualityModel:
+    """Computes per-fact recovery probabilities and expected F1."""
+
+    params: QualityParams = field(default_factory=QualityParams)
+
+    # ------------------------------------------------------------------
+    # Mechanism primitives
+    # ------------------------------------------------------------------
+    def lim_factor(self, total_tokens: int, position_fraction: float) -> float:
+        """Lost-in-the-middle attenuation for a fact at a prompt position.
+
+        ``position_fraction`` is the fact's token-midpoint position in
+        [0, 1]; the penalty is a Gaussian dip centred at 0.5 whose depth
+        grows with ``total_tokens``.
+        """
+        p = self.params
+        check_probability("position_fraction", position_fraction)
+        if total_tokens <= p.lim_onset_tokens:
+            return 1.0
+        depth = min(
+            p.lim_max_depth,
+            (total_tokens - p.lim_onset_tokens) / p.lim_scale_tokens * p.lim_max_depth,
+        )
+        dip = math.exp(-((position_fraction - 0.5) ** 2) / (2.0 * p.lim_width**2))
+        return 1.0 - depth * dip
+
+    def _summary_survival(self, capacity_tokens: float, demand_tokens: float) -> float:
+        """Probability a fact survives a mapper summary.
+
+        ``capacity_tokens`` is the summary budget (``intermediate_length``);
+        ``demand_tokens`` is the total verbosity of required facts
+        competing for that budget in the same chunk.
+        """
+        p = self.params
+        slack = p.summary_slack_frac * demand_tokens + p.summary_slack_tokens
+        return _sigmoid((capacity_tokens - demand_tokens) / slack)
+
+    def _complexity_factor(self, method: SynthesisMethod, high: bool) -> float:
+        if not high:
+            return 1.0
+        p = self.params
+        if method is SynthesisMethod.MAP_RERANK:
+            return p.rerank_high_complexity_factor
+        if method is SynthesisMethod.STUFF:
+            return p.stuff_high_complexity_factor
+        return p.reduce_high_complexity_factor
+
+    # ------------------------------------------------------------------
+    # Per-fact recovery probabilities
+    # ------------------------------------------------------------------
+    def fact_recovery_probs(
+        self,
+        ctx: SynthesisContext,
+        method: SynthesisMethod,
+        intermediate_length: int = 0,
+    ) -> dict[str, float]:
+        """P(fact appears in the final answer) for every required fact.
+
+        Facts absent from every retrieved chunk get probability 0.
+        """
+        if method is SynthesisMethod.MAP_RERANK:
+            return self._probs_map_rerank(ctx)
+        if method is SynthesisMethod.STUFF:
+            return self._probs_stuff(ctx)
+        if method is SynthesisMethod.MAP_REDUCE:
+            return self._probs_map_reduce(ctx, intermediate_length)
+        raise ValueError(f"unknown synthesis method: {method!r}")
+
+    def _required_ids(self, ctx: SynthesisContext) -> set[str]:
+        return {f.fact_id for f in ctx.required_facts}
+
+    def _probs_map_rerank(self, ctx: SynthesisContext) -> dict[str, float]:
+        """Answer from the single best chunk (most required facts)."""
+        required = self._required_ids(ctx)
+        probs = {fid: 0.0 for fid in required}
+        best: ChunkView | None = None
+        best_count = 0
+        for chunk in ctx.chunks:
+            count = sum(1 for f in chunk.facts if f.fact_id in required)
+            if count > best_count:
+                best, best_count = chunk, count
+        if best is None:
+            return probs
+        factor = self._complexity_factor(SynthesisMethod.MAP_RERANK,
+                                         ctx.complexity_high)
+        for fact in best.facts:
+            if fact.fact_id in required:
+                probs[fact.fact_id] = self.params.base_recover * factor
+        return probs
+
+    def _probs_stuff(self, ctx: SynthesisContext) -> dict[str, float]:
+        """One joint prompt: lost-in-the-middle over the whole context."""
+        required = self._required_ids(ctx)
+        probs = {fid: 0.0 for fid in required}
+        total = ctx.total_context_tokens
+        if total == 0:
+            return probs
+        factor = self._complexity_factor(SynthesisMethod.STUFF, ctx.complexity_high)
+        offset = 0
+        for chunk in ctx.chunks:
+            midpoint = (offset + chunk.n_tokens / 2.0) / total
+            offset += chunk.n_tokens
+            lim = self.lim_factor(total, midpoint)
+            for fact in chunk.facts:
+                if fact.fact_id not in required:
+                    continue
+                p = self.params.base_recover * lim * factor
+                probs[fact.fact_id] = max(probs[fact.fact_id], p)
+        return probs
+
+    def _probs_map_reduce(
+        self, ctx: SynthesisContext, intermediate_length: int
+    ) -> dict[str, float]:
+        """Mapper compression per chunk, then a short joint reduce."""
+        check_positive("intermediate_length", intermediate_length)
+        required = self._required_ids(ctx)
+        probs = {fid: 0.0 for fid in required}
+        reduce_tokens = len(ctx.chunks) * intermediate_length
+        factor = self._complexity_factor(SynthesisMethod.MAP_REDUCE,
+                                         ctx.complexity_high)
+        for rank, chunk in enumerate(ctx.chunks):
+            chunk_required = [f for f in chunk.facts if f.fact_id in required]
+            if not chunk_required:
+                continue
+            demand = sum(f.verbosity for f in chunk_required)
+            survival = self._summary_survival(float(intermediate_length), demand)
+            # Position of this chunk's summary within the reduce prompt.
+            midpoint = (rank + 0.5) / len(ctx.chunks)
+            lim = self.lim_factor(reduce_tokens, midpoint)
+            for fact in chunk_required:
+                p = (
+                    self.params.base_recover
+                    * survival
+                    * lim
+                    * factor
+                    * self.params.reduce_recover_factor
+                )
+                probs[fact.fact_id] = max(probs[fact.fact_id], p)
+        return probs
+
+    # ------------------------------------------------------------------
+    # Precision-side noise
+    # ------------------------------------------------------------------
+    def expected_noise_tokens(
+        self, ctx: SynthesisContext, method: SynthesisMethod
+    ) -> float:
+        """Expected count of spurious answer tokens from context dilution."""
+        gt_len = max(1, len(ctx.ground_truth_tokens()))
+        rate = {
+            SynthesisMethod.STUFF: self.params.noise_rate_stuff,
+            SynthesisMethod.MAP_REDUCE: self.params.noise_rate_reduce,
+            SynthesisMethod.MAP_RERANK: self.params.noise_rate_rerank,
+        }[method]
+        dilution = ctx.irrelevant_fraction ** self.params.noise_dilution_exponent
+        return gt_len * rate * dilution
+
+    # ------------------------------------------------------------------
+    # Analytic expectation (smooth; for oracle sweeps)
+    # ------------------------------------------------------------------
+    def expected_f1(
+        self,
+        ctx: SynthesisContext,
+        method: SynthesisMethod,
+        intermediate_length: int = 0,
+    ) -> float:
+        """Expected token-F1 of the generated answer.
+
+        Uses E[precision] and E[recall] (a first-order approximation of
+        E[F1], adequate because experiments average hundreds of
+        queries; per-query sampled F1 comes from
+        :class:`repro.llm.generation.SimulatedGenerator`).
+        """
+        p = self.params
+        probs = self.fact_recovery_probs(ctx, method, intermediate_length)
+        gt = ctx.ground_truth_tokens()
+        if not gt:
+            return 0.0
+        template_len = len(ctx.answer_template_tokens)
+        expected_correct = template_len * p.template_match_rate
+        expected_emitted = float(template_len)
+        for fact in ctx.required_facts:
+            recover = probs.get(fact.fact_id, 0.0)
+            n_val = len(fact.value_tokens)
+            expected_correct += recover * n_val * p.token_match_rate
+            # Emitted tokens: recovered facts emit their value; missed
+            # facts hallucinate a wrong value with some probability.
+            expected_emitted += recover * n_val
+            expected_emitted += (1.0 - recover) * p.hallucination_prob * n_val
+        expected_emitted += self.expected_noise_tokens(ctx, method)
+        if expected_emitted <= 0 or expected_correct <= 0:
+            return 0.0
+        precision = expected_correct / expected_emitted
+        recall = expected_correct / len(gt)
+        return 2.0 * precision * recall / (precision + recall)

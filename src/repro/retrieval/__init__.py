@@ -1,0 +1,22 @@
+"""Retrieval substrate: embeddings, L2 indexes, chunking, vector store.
+
+Stands in for the paper's Cohere-embed-v3 + FAISS ``IndexFlatL2``
+pipeline with a deterministic hashed bag-of-tokens embedder and exact
+numpy L2 search (plus an IVF variant for larger corpora).
+"""
+
+from repro.retrieval.chunker import Chunk, split_into_chunks
+from repro.retrieval.embedding import EmbeddingModel, HashedEmbedding
+from repro.retrieval.index import FlatL2Index, IVFFlatIndex
+from repro.retrieval.store import SearchHit, VectorStore
+
+__all__ = [
+    "Chunk",
+    "EmbeddingModel",
+    "FlatL2Index",
+    "HashedEmbedding",
+    "IVFFlatIndex",
+    "SearchHit",
+    "VectorStore",
+    "split_into_chunks",
+]

@@ -1,0 +1,104 @@
+"""Document chunking (the paper splits documents into fixed-token chunks).
+
+Mirrors Langchain's fixed-size splitter with optional token overlap:
+sentences are packed greedily into chunks of ``chunk_tokens`` tokens;
+a sentence longer than the budget is hard-split.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.llm.tokenizer import SimTokenizer
+
+__all__ = ["Chunk", "split_into_chunks"]
+
+_SENTENCE_RE = re.compile(r"[^.!?]+[.!?]?")
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One retrievable unit of a document."""
+
+    chunk_id: str
+    doc_id: str
+    text: str
+    n_tokens: int
+    position: int  # index of this chunk within its document
+
+
+def split_into_chunks(
+    doc_id: str,
+    text: str,
+    chunk_tokens: int,
+    overlap_tokens: int = 0,
+    tokenizer: SimTokenizer | None = None,
+) -> list[Chunk]:
+    """Split ``text`` into chunks of at most ``chunk_tokens`` tokens.
+
+    Sentence boundaries are respected where possible; ``overlap_tokens``
+    of trailing text are repeated at the start of the next chunk (a
+    common RAG practice to avoid cutting facts in half).
+    """
+    if chunk_tokens <= 0:
+        raise ValueError(f"chunk_tokens must be positive, got {chunk_tokens}")
+    if not 0 <= overlap_tokens < chunk_tokens:
+        raise ValueError(
+            f"overlap_tokens must be in [0, chunk_tokens), got {overlap_tokens}"
+        )
+    tok = tokenizer or SimTokenizer()
+    sentences = [s.strip() for s in _SENTENCE_RE.findall(text) if s.strip()]
+
+    pieces: list[tuple[str, int]] = []
+    for sentence in sentences:
+        n = tok.count(sentence)
+        if n <= chunk_tokens:
+            pieces.append((sentence, n))
+            continue
+        # Hard-split an oversized sentence on word boundaries.
+        words = sentence.split()
+        current: list[str] = []
+        for word in words:
+            candidate = " ".join(current + [word])
+            if current and tok.count(candidate) > chunk_tokens:
+                pieces.append((" ".join(current), tok.count(" ".join(current))))
+                current = [word]
+            else:
+                current.append(word)
+        if current:
+            pieces.append((" ".join(current), tok.count(" ".join(current))))
+
+    chunks: list[Chunk] = []
+    buffer: list[str] = []
+    buffer_tokens = 0
+
+    def flush() -> None:
+        nonlocal buffer, buffer_tokens
+        if not buffer:
+            return
+        chunk_text = " ".join(buffer)
+        chunks.append(
+            Chunk(
+                chunk_id=f"{doc_id}#{len(chunks)}",
+                doc_id=doc_id,
+                text=chunk_text,
+                n_tokens=tok.count(chunk_text),
+                position=len(chunks),
+            )
+        )
+        if overlap_tokens > 0:
+            tail = tok.truncate(chunk_text[::-1], overlap_tokens)[::-1]
+            buffer = [tail] if tail else []
+            buffer_tokens = tok.count(tail) if tail else 0
+        else:
+            buffer = []
+            buffer_tokens = 0
+
+    for sentence, n in pieces:
+        if buffer and buffer_tokens + n > chunk_tokens:
+            flush()
+        buffer.append(sentence)
+        buffer_tokens += n
+    flush()
+    return chunks

@@ -1,0 +1,127 @@
+"""Deterministic text embeddings.
+
+:class:`HashedEmbedding` is a feature-hashing bag-of-tokens embedder:
+each token hashes (stably, via SHA-256) to a signed coordinate in a
+``dim``-dimensional space; a text's embedding is the TF-weighted sum of
+its token vectors, L2-normalised. Texts sharing entity/attribute tokens
+land close together, which is precisely the property RAG retrieval
+relies on — and it emerges here from the text itself rather than from
+hand-assigned similarities.
+
+The paper (§A.2) observes that swapping embedding models changes F1 by
+<1%; we mirror that by making the embedder pluggable behind
+:class:`EmbeddingModel` and shipping two hash-seed "families".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from collections import Counter
+
+import numpy as np
+
+from repro.llm.tokenizer import SimTokenizer
+
+__all__ = ["EmbeddingModel", "HashedEmbedding", "IdfWeights"]
+
+
+class IdfWeights:
+    """Inverse-document-frequency token weighting.
+
+    Fitted over the corpus chunks at indexing time; rare, informative
+    tokens (entity names, attribute words, values) then dominate the
+    embedding over ubiquitous filler, as they do in trained embedding
+    models.
+    """
+
+    def __init__(self) -> None:
+        self._n_docs = 0
+        self._df: Counter[str] = Counter()
+        self._tokenizer = SimTokenizer()
+
+    def fit(self, texts: list[str]) -> "IdfWeights":
+        """Count document frequencies over ``texts`` (resets state)."""
+        self._n_docs = len(texts)
+        self._df = Counter()
+        for text in texts:
+            self._df.update(set(self._tokenizer.tokenize(text)))
+        return self
+
+    def weight(self, token: str) -> float:
+        """Smoothed IDF weight; unseen tokens get the maximum weight."""
+        import math
+
+        df = self._df.get(token, 0)
+        return math.log((1.0 + self._n_docs) / (1.0 + df)) + 1.0
+
+
+class EmbeddingModel(ABC):
+    """Interface every embedder implements."""
+
+    dim: int
+
+    @abstractmethod
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into a unit-norm float32 vector."""
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed many texts; rows are unit-norm vectors."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        return np.stack([self.embed(t) for t in texts])
+
+
+class HashedEmbedding(EmbeddingModel):
+    """Feature-hashing embedder with stable, seed-parameterised hashing.
+
+    Args:
+        dim: embedding dimensionality.
+        family: hash-seed family name; two different families behave
+            like two different (but similarly capable) embedding models.
+        sublinear_tf: dampen repeated tokens with ``1 + log(tf)``.
+    """
+
+    def __init__(
+        self,
+        dim: int = 512,
+        family: str = "cohere-embed-v3-sim",
+        sublinear_tf: bool = True,
+        idf: IdfWeights | None = None,
+    ) -> None:
+        if dim < 8:
+            raise ValueError(f"dim must be >= 8, got {dim}")
+        self.dim = dim
+        self.family = family
+        self.sublinear_tf = sublinear_tf
+        self.idf = idf
+        self._tokenizer = SimTokenizer()
+        self._token_cache: dict[str, tuple[int, float]] = {}
+
+    def _token_coord(self, token: str) -> tuple[int, float]:
+        """Map a token to a (coordinate, sign) pair, cached."""
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(f"{self.family}\x00{token}".encode()).digest()
+        coord = int.from_bytes(digest[:4], "little") % self.dim
+        sign = 1.0 if digest[4] % 2 == 0 else -1.0
+        result = (coord, sign)
+        self._token_cache[token] = result
+        return result
+
+    def embed(self, text: str) -> np.ndarray:
+        vec = np.zeros(self.dim, dtype=np.float32)
+        counts = Counter(self._tokenizer.tokenize(text))
+        if not counts:
+            return vec
+        for token, tf in counts.items():
+            weight = 1.0 + np.log(tf) if self.sublinear_tf else float(tf)
+            if self.idf is not None:
+                weight *= self.idf.weight(token)
+            coord, sign = self._token_coord(token)
+            vec[coord] += sign * weight
+        norm = float(np.linalg.norm(vec))
+        if norm > 0:
+            vec /= norm
+        return vec

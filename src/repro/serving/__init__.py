@@ -1,0 +1,32 @@
+"""Discrete-event simulator of a continuous-batching LLM serving engine.
+
+Stands in for vLLM on the paper's A40 testbed: paged KV-cache block
+manager, iteration-level (continuous) batching, chunked prefill,
+admission control against KV memory, and pluggable scheduling policies
+(FCFS like vLLM; app-aware grouping like Parrot).
+"""
+
+from repro.serving.engine import EngineConfig, ServingEngine, StepInfo
+from repro.serving.kv_cache import BlockManager
+from repro.serving.memory import GPUMemoryModel
+from repro.serving.policies import (
+    AppAwarePolicy,
+    FCFSPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.serving.request import InferenceRequest, RequestPhase
+
+__all__ = [
+    "AppAwarePolicy",
+    "BlockManager",
+    "EngineConfig",
+    "FCFSPolicy",
+    "GPUMemoryModel",
+    "InferenceRequest",
+    "RequestPhase",
+    "SchedulingPolicy",
+    "ServingEngine",
+    "StepInfo",
+    "make_policy",
+]

@@ -1,0 +1,328 @@
+"""The continuous-batching serving engine (vLLM stand-in).
+
+Discrete-event semantics: each :meth:`ServingEngine.step` simulates one
+engine iteration — admit waiting requests under KV-memory admission
+control, schedule a (possibly chunked) prefill batch plus one decode
+token for every running sequence, then advance the clock by the
+iteration's duration from the roofline cost model.
+
+Deliberate deviations from vLLM, chosen to keep the simulator honest
+but tractable (documented in DESIGN.md):
+
+* A sequence's full KV footprint (prompt + output) is reserved at
+  admission, so preemption/swap-out never triggers. Admission is
+  therefore slightly conservative, which *under*-states METIS' benefit.
+* The final prefill chunk also yields the first output token (as in
+  chunked-prefill vLLM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.costs import RooflineCostModel
+from repro.llm.gpu import ClusterSpec
+from repro.llm.model import ModelSpec
+from repro.serving.kv_cache import BlockManager
+from repro.serving.memory import GPUMemoryModel
+from repro.serving.policies import SchedulingPolicy, make_policy
+from repro.serving.request import InferenceRequest, RequestPhase
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["EngineConfig", "ServingEngine", "StepInfo", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Static engine parameters (defaults mirror vLLM's)."""
+
+    model: ModelSpec
+    cluster: ClusterSpec
+    block_tokens: int = 16
+    max_num_seqs: int = 48
+    max_batched_prefill_tokens: int = 2_048
+    chunked_prefill: bool = True
+    gpu_memory_utilization: float = 0.90
+    activation_reserve_frac: float = 0.08
+    kv_pool_cap_bytes: float | None = None
+    watermark_frac: float = 0.01
+    policy: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        check_positive("block_tokens", self.block_tokens)
+        check_positive("max_num_seqs", self.max_num_seqs)
+        check_positive("max_batched_prefill_tokens",
+                       self.max_batched_prefill_tokens)
+        check_in_range("watermark_frac", self.watermark_frac, 0.0, 0.2)
+
+
+@dataclass(frozen=True)
+class StepInfo:
+    """What one engine iteration did."""
+
+    start: float
+    duration: float
+    prefill_tokens: int
+    n_prefill_seqs: int
+    n_decode_seqs: int
+    kv_tokens_in_batch: int
+    admitted: tuple[InferenceRequest, ...]
+    finished: tuple[InferenceRequest, ...]
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine counters (cost accounting, diagnostics)."""
+
+    iterations: int = 0
+    busy_seconds: float = 0.0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    requests_finished: int = 0
+    peak_kv_utilization: float = 0.0
+    admission_stalls: int = 0  # iterations where the queue head could not fit
+
+
+class ServingEngine:
+    """Continuous-batching engine over a simulated GPU cluster."""
+
+    def __init__(self, config: EngineConfig,
+                 policy: SchedulingPolicy | None = None) -> None:
+        self.config = config
+        self.memory = GPUMemoryModel(
+            config.model,
+            config.cluster,
+            gpu_memory_utilization=config.gpu_memory_utilization,
+            activation_reserve_frac=config.activation_reserve_frac,
+            kv_pool_cap_bytes=config.kv_pool_cap_bytes,
+        )
+        self.blocks = BlockManager(
+            n_blocks=self.memory.n_blocks(config.block_tokens),
+            block_tokens=config.block_tokens,
+        )
+        self.cost = RooflineCostModel(config.model, config.cluster)
+        self.policy = policy or make_policy(config.policy)
+        self.stats = EngineStats()
+        self.now = 0.0
+        self._waiting: list[InferenceRequest] = []
+        self._running: list[InferenceRequest] = []
+        self._watermark_blocks = int(self.blocks.n_blocks * config.watermark_frac)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> ModelSpec:
+        return self.config.model
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        return self.config.cluster
+
+    @property
+    def waiting(self) -> tuple[InferenceRequest, ...]:
+        return tuple(self._waiting)
+
+    @property
+    def running(self) -> tuple[InferenceRequest, ...]:
+        return tuple(self._running)
+
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    def free_kv_bytes(self) -> float:
+        """Instantaneous free KV memory (the paper's ``get_free_memory``)."""
+        return (
+            self.blocks.free_blocks
+            * self.blocks.block_tokens
+            * self.memory.kv_bytes_per_token
+        )
+
+    def waiting_demand_bytes(self) -> float:
+        """KV memory already promised to queued-but-unadmitted requests."""
+        tokens = sum(r.total_tokens for r in self._waiting)
+        return self.memory.tokens_to_bytes(tokens)
+
+    def available_kv_bytes(self) -> float:
+        """Free KV memory net of queued demand — what a *new* request can
+        claim without displacing anyone (METIS' scheduling signal)."""
+        return max(0.0, self.free_kv_bytes() - self.waiting_demand_bytes())
+
+    def kv_bytes_for_tokens(self, n_tokens: int) -> float:
+        return self.memory.tokens_to_bytes(n_tokens)
+
+    # ------------------------------------------------------------------
+    # Submission / time control
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> InferenceRequest:
+        """Queue a request; validates it can ever be served."""
+        if request.total_tokens > self.model.max_context:
+            raise ValueError(
+                f"request needs {request.total_tokens} tokens of context; "
+                f"{self.model.name} supports {self.model.max_context}"
+            )
+        if request.total_tokens > self.memory.kv_pool_tokens:
+            raise ValueError(
+                f"request KV footprint ({request.total_tokens} tokens) exceeds "
+                f"the KV pool ({self.memory.kv_pool_tokens} tokens)"
+            )
+        if request.phase is not RequestPhase.WAITING:
+            raise ValueError(f"request already scheduled: {request!r}")
+        self._waiting.append(request)
+        return request
+
+    def advance_to(self, t: float) -> None:
+        """Jump the clock forward to ``t`` (idle time between arrivals)."""
+        if t > self.now:
+            self.now = t
+
+    # ------------------------------------------------------------------
+    # The iteration
+    # ------------------------------------------------------------------
+    def step(self) -> StepInfo:
+        """Run one engine iteration; returns what happened.
+
+        Raises ``RuntimeError`` when there is no work (callers should
+        check :meth:`has_work`).
+        """
+        if not self.has_work():
+            raise RuntimeError("step() called on an idle engine")
+        admitted = self._admit()
+        prefill_plan, decode_seqs = self._build_iteration()
+        prefill_tokens = sum(chunk for _, chunk in prefill_plan)
+        kv_tokens = sum(r.kv_tokens_in_use for r in decode_seqs)
+        duration = self.cost.iteration_seconds(
+            prefill_tokens, kv_tokens, len(decode_seqs)
+        )
+        start = self.now
+        self.now += duration
+
+        finished = self._apply_iteration(prefill_plan, decode_seqs)
+
+        self.stats.iterations += 1
+        self.stats.busy_seconds += duration
+        self.stats.prefill_tokens += prefill_tokens
+        self.stats.decode_tokens += len(decode_seqs)
+        self.stats.requests_finished += len(finished)
+        self.stats.peak_kv_utilization = max(
+            self.stats.peak_kv_utilization, self.blocks.utilization()
+        )
+        return StepInfo(
+            start=start,
+            duration=duration,
+            prefill_tokens=prefill_tokens,
+            n_prefill_seqs=len(prefill_plan),
+            n_decode_seqs=len(decode_seqs),
+            kv_tokens_in_batch=kv_tokens,
+            admitted=tuple(admitted),
+            finished=tuple(finished),
+        )
+
+    def _admit(self) -> list[InferenceRequest]:
+        """Admit waiting requests in policy order until one doesn't fit.
+
+        Stopping at the first misfit preserves the policy's ordering
+        guarantee (no starvation) — and produces the head-of-line
+        blocking that METIS' memory-aware configuration selection is
+        designed to avoid.
+        """
+        admitted: list[InferenceRequest] = []
+        ordered = self.policy.order(self._waiting, self._running)
+        for request in ordered:
+            if len(self._running) >= self.config.max_num_seqs:
+                break
+            # An empty engine always admits its queue head (ignore the
+            # watermark) — otherwise a pool-sized request could stall
+            # forever against its own reserve.
+            watermark = self._watermark_blocks if self._running else 0
+            if not self.blocks.can_allocate(request.total_tokens, watermark):
+                self.stats.admission_stalls += 1
+                break
+            self.blocks.allocate(request.request_id, request.total_tokens)
+            request.phase = RequestPhase.PREFILL
+            request.admitted_time = self.now
+            self._waiting.remove(request)
+            self._running.append(request)
+            admitted.append(request)
+        return admitted
+
+    def _build_iteration(
+        self,
+    ) -> tuple[list[tuple[InferenceRequest, int]], list[InferenceRequest]]:
+        """Decide this iteration's prefill chunks and decode set."""
+        prefilling = [r for r in self._running if r.phase is RequestPhase.PREFILL]
+        decoding = [r for r in self._running if r.phase is RequestPhase.DECODE]
+        budget = self.config.max_batched_prefill_tokens
+        plan: list[tuple[InferenceRequest, int]] = []
+
+        if self.config.chunked_prefill:
+            for request in prefilling:
+                if budget <= 0:
+                    break
+                chunk = min(request.remaining_prefill, budget)
+                plan.append((request, chunk))
+                budget -= chunk
+            return plan, decoding
+
+        # vLLM-v0 style: prefill-only iterations process whole prompts;
+        # decode-only iterations run otherwise.
+        if prefilling:
+            for request in prefilling:
+                chunk = request.remaining_prefill
+                if plan and chunk > budget:
+                    break
+                plan.append((request, chunk))
+                budget -= chunk
+            return plan, []
+        return plan, decoding
+
+    def _apply_iteration(
+        self,
+        prefill_plan: list[tuple[InferenceRequest, int]],
+        decode_seqs: list[InferenceRequest],
+    ) -> list[InferenceRequest]:
+        finished: list[InferenceRequest] = []
+        for request, chunk in prefill_plan:
+            request.prefilled_tokens += chunk
+            assert request.prefilled_tokens <= request.prompt_tokens
+            if request.prefilled_tokens == request.prompt_tokens:
+                request.phase = RequestPhase.DECODE
+                request.prefill_done_time = self.now
+                # The last prefill chunk emits the first output token.
+                request.decoded_tokens += 1
+                if request.decoded_tokens >= request.output_tokens:
+                    self._finish(request, finished)
+        for request in decode_seqs:
+            if request.phase is not RequestPhase.DECODE:
+                continue  # finished during prefill bookkeeping above
+            request.decoded_tokens += 1
+            if request.decoded_tokens >= request.output_tokens:
+                self._finish(request, finished)
+        return finished
+
+    def _finish(self, request: InferenceRequest,
+                finished: list[InferenceRequest]) -> None:
+        request.phase = RequestPhase.FINISHED
+        request.finish_time = self.now
+        self.blocks.free(request.request_id)
+        self._running.remove(request)
+        finished.append(request)
+        if request.on_finish is not None:
+            request.on_finish(request, self.now)
+
+    # ------------------------------------------------------------------
+    def run_until_idle(self, max_iterations: int = 1_000_000) -> int:
+        """Step until all submitted work completes; returns iterations."""
+        n = 0
+        while self.has_work():
+            self.step()
+            n += 1
+            if n >= max_iterations:
+                raise RuntimeError(
+                    f"engine did not drain within {max_iterations} iterations"
+                )
+        return n

@@ -1,0 +1,92 @@
+"""GPU memory budget for serving: weights + activations + KV cache.
+
+Mirrors vLLM's memory partitioning: a fraction
+``gpu_memory_utilization`` of HBM is claimed by the engine; weights and
+an activation workspace are carved out first and the remainder becomes
+the paged KV-cache pool. This module also implements the paper's
+``get_free_memory()`` (§6, via pynvml there): the instantaneous free KV
+memory METIS' joint scheduler consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.gpu import ClusterSpec
+from repro.llm.model import ModelSpec
+from repro.util.validation import check_in_range
+
+__all__ = ["GPUMemoryModel"]
+
+
+@dataclass(frozen=True)
+class GPUMemoryModel:
+    """Static partition of cluster memory for one served model.
+
+    Attributes:
+        gpu_memory_utilization: fraction of total HBM the engine may
+            use (vLLM default 0.9).
+        activation_reserve_frac: fraction of total HBM reserved for
+            activations / CUDA graphs / fragmentation slack.
+    """
+
+    model: ModelSpec
+    cluster: ClusterSpec
+    gpu_memory_utilization: float = 0.90
+    activation_reserve_frac: float = 0.08
+    #: Optional hard cap on the KV pool. Production deployments often
+    #: reserve most of HBM for co-located models, CUDA graphs and burst
+    #: headroom; the paper's testbed exhibits routinely-scarce free
+    #: memory (its Fig 8 works with single-digit-GB free), which a cap
+    #: reproduces.
+    kv_pool_cap_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        check_in_range("gpu_memory_utilization",
+                       self.gpu_memory_utilization, 0.1, 1.0)
+        check_in_range("activation_reserve_frac",
+                       self.activation_reserve_frac, 0.0, 0.5)
+        if self.kv_pool_cap_bytes is not None and self.kv_pool_cap_bytes <= 0:
+            raise ValueError(
+                f"kv_pool_cap_bytes must be positive, got {self.kv_pool_cap_bytes}"
+            )
+        if self.kv_pool_bytes <= 0:
+            raise ValueError(
+                f"model {self.model.name!r} does not fit on {self.cluster}: "
+                "no memory left for KV cache"
+            )
+
+    @property
+    def usable_bytes(self) -> float:
+        return self.cluster.memory_bytes * self.gpu_memory_utilization
+
+    @property
+    def activation_bytes(self) -> float:
+        return self.cluster.memory_bytes * self.activation_reserve_frac
+
+    @property
+    def kv_pool_bytes(self) -> float:
+        """Bytes available for the paged KV cache."""
+        pool = self.usable_bytes - self.model.weight_bytes - self.activation_bytes
+        if self.kv_pool_cap_bytes is not None:
+            pool = min(pool, self.kv_pool_cap_bytes)
+        return pool
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        return self.model.kv_bytes_per_token
+
+    @property
+    def kv_pool_tokens(self) -> int:
+        """Total KV-cache capacity in tokens."""
+        return int(self.kv_pool_bytes // self.kv_bytes_per_token)
+
+    def n_blocks(self, block_tokens: int) -> int:
+        """Number of KV blocks the pool holds."""
+        if block_tokens <= 0:
+            raise ValueError(f"block_tokens must be positive, got {block_tokens}")
+        return self.kv_pool_tokens // block_tokens
+
+    def tokens_to_bytes(self, n_tokens: int) -> float:
+        """KV bytes consumed by ``n_tokens`` context tokens."""
+        return n_tokens * self.kv_bytes_per_token

@@ -1,0 +1,40 @@
+"""Synthesis methods: compile a RAG config into a DAG of LLM calls.
+
+Implements the paper's three synthesis methods (Fig 3) as planners that
+turn (query, retrieved chunks, config) into a :class:`SynthesisPlan` —
+the unit the serving engine executes and the joint scheduler sizes.
+"""
+
+from repro.synthesis.base import PromptOverheads, Synthesizer
+from repro.synthesis.map_reduce import MapReduceSynthesizer
+from repro.synthesis.map_rerank import MapRerankSynthesizer
+from repro.synthesis.plans import LLMCall, SynthesisPlan
+from repro.synthesis.stuff import StuffSynthesizer
+
+from repro.config.knobs import SynthesisMethod
+
+__all__ = [
+    "LLMCall",
+    "MapReduceSynthesizer",
+    "MapRerankSynthesizer",
+    "PromptOverheads",
+    "StuffSynthesizer",
+    "Synthesizer",
+    "SynthesisPlan",
+    "make_synthesizer",
+]
+
+_SYNTHESIZERS = {
+    SynthesisMethod.STUFF: StuffSynthesizer,
+    SynthesisMethod.MAP_RERANK: MapRerankSynthesizer,
+    SynthesisMethod.MAP_REDUCE: MapReduceSynthesizer,
+}
+
+
+def make_synthesizer(method: SynthesisMethod,
+                     overheads: PromptOverheads | None = None) -> Synthesizer:
+    """Instantiate the planner for a synthesis method."""
+    cls = _SYNTHESIZERS[method]
+    if overheads is None:
+        return cls()
+    return cls(overheads=overheads)

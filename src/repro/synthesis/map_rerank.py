@@ -1,0 +1,47 @@
+"""``map_rerank`` synthesis: answer per chunk, keep the most confident
+(Fig 3b).
+
+N independent single-chunk calls; the re-rank itself is a cheap host-side
+argmax over the returned confidences (no extra LLM call). Lowest compute
+of the three methods, but cannot reason across chunks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.synthesis.base import Synthesizer
+from repro.synthesis.plans import LLMCall, SynthesisPlan
+
+__all__ = ["MapRerankSynthesizer"]
+
+
+class MapRerankSynthesizer(Synthesizer):
+    """One call per chunk, all in a single parallel stage."""
+
+    method = SynthesisMethod.MAP_RERANK
+
+    def build_plan(
+        self,
+        query_id: str,
+        query_tokens: int,
+        chunk_tokens: Sequence[int],
+        answer_tokens: int,
+        config: RAGConfig,
+    ) -> SynthesisPlan:
+        self._validate(query_tokens, chunk_tokens, answer_tokens, config)
+        calls = tuple(
+            LLMCall(
+                call_id=f"{query_id}/rerank{i}",
+                prompt_tokens=(
+                    query_tokens + n + self.overheads.wrapper_tokens(1)
+                ),
+                # Each candidate emits an answer plus a short confidence
+                # tail the reranker reads.
+                output_tokens=answer_tokens + 4,
+                stage=0,
+            )
+            for i, n in enumerate(chunk_tokens)
+        )
+        return SynthesisPlan(query_id=query_id, calls=calls)

@@ -1,0 +1,33 @@
+"""Shared utilities: seeded RNG streams, unit helpers, validation."""
+
+from repro.util.rng import RngStreams, derive_seed, stream
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    format_bytes,
+    format_duration,
+    format_tokens,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "RngStreams",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_seed",
+    "format_bytes",
+    "format_duration",
+    "format_tokens",
+    "stream",
+]

@@ -1,0 +1,59 @@
+"""Shared fixtures: small cached datasets and engine configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import build_dataset
+from repro.llm import A40, ClusterSpec, MISTRAL_7B_AWQ
+from repro.serving.engine import EngineConfig
+from repro.util.units import GB
+
+
+@pytest.fixture(scope="session")
+def finsec_bundle():
+    return build_dataset("finsec", n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def squad_bundle():
+    return build_dataset("squad", n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def musique_bundle():
+    return build_dataset("musique", n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def qmsum_bundle():
+    return build_dataset("qmsum", n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def all_bundles(squad_bundle, musique_bundle, finsec_bundle, qmsum_bundle):
+    return {
+        "squad": squad_bundle,
+        "musique": musique_bundle,
+        "finsec": finsec_bundle,
+        "qmsum": qmsum_bundle,
+    }
+
+
+@pytest.fixture()
+def engine_config():
+    return EngineConfig(
+        model=MISTRAL_7B_AWQ,
+        cluster=ClusterSpec(A40),
+        kv_pool_cap_bytes=8 * GB,
+    )
+
+
+@pytest.fixture()
+def tiny_engine_config():
+    """An engine with a deliberately tiny KV pool (memory-pressure tests)."""
+    return EngineConfig(
+        model=MISTRAL_7B_AWQ,
+        cluster=ClusterSpec(A40),
+        kv_pool_cap_bytes=int(0.8 * GB),
+    )

@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_policy, main, make_parser, parse_config_label
+from repro.config.knobs import RAGConfig, SynthesisMethod
+
+
+class TestParseConfigLabel:
+    def test_two_part(self):
+        assert parse_config_label("stuff/8") == RAGConfig(
+            SynthesisMethod.STUFF, 8
+        )
+
+    def test_three_part(self):
+        assert parse_config_label("map_reduce/8/100") == RAGConfig(
+            SynthesisMethod.MAP_REDUCE, 8, 100
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="stuff"):
+            parse_config_label("refine/8")
+
+    def test_malformed(self):
+        with pytest.raises(ValueError, match="method/num_chunks"):
+            parse_config_label("stuff")
+
+
+class TestBuildPolicy:
+    def test_named_policies(self, finsec_bundle):
+        for name in ("metis", "adaptive-rag", "median"):
+            policy = build_policy(name, finsec_bundle, None, seed=0)
+            assert policy is not None
+
+    def test_fixed_requires_config(self, finsec_bundle):
+        with pytest.raises(ValueError, match="--config"):
+            build_policy("vllm", finsec_bundle, None, seed=0)
+
+    def test_parrot_uses_app_aware(self, finsec_bundle):
+        policy = build_policy("parrot", finsec_bundle, "stuff/8", seed=0)
+        assert policy.engine_policy == "app-aware"
+
+    def test_unknown_policy(self, finsec_bundle):
+        with pytest.raises(ValueError, match="unknown policy"):
+            build_policy("magic", finsec_bundle, None, seed=0)
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("squad", "musique", "finsec", "qmsum"):
+            assert name in out
+
+    def test_run_command(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "10", "--rate", "1.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_delay_s" in out
+
+    def test_run_command_metis_sequential(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "metis",
+            "--queries", "5", "--sequential",
+        ])
+        assert code == 0
+        assert "mean_f1" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        code = main(["experiment", "fig9_confidence", "--fast"])
+        assert code == 0
+        assert "confidence" in capsys.readouterr().out
+
+    def test_bad_config_returns_error_code(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "bogus/3",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(
+                ["run", "--dataset", "hotpot", "--policy", "metis"]
+            )

@@ -1,0 +1,35 @@
+"""Statistical calibration of the profiler confidence model (Fig 9).
+
+Uses the full 200-query datasets (cached) so the fractions are stable
+enough to compare against the paper's reported numbers.
+"""
+
+import pytest
+
+from repro.data import build_dataset
+from repro.experiments.fig9_confidence import confidence_stats
+
+
+@pytest.fixture(scope="module", params=["finsec", "qmsum"])
+def stats(request):
+    bundle = build_dataset(request.param, n_queries=200)
+    return confidence_stats(bundle)
+
+
+class TestFig9Calibration:
+    def test_most_profiles_above_threshold(self, stats):
+        # Paper: >93% of profiles have confidence >= 0.9.
+        assert stats["frac_above"] >= 0.88
+
+    def test_high_confidence_profiles_are_good(self, stats):
+        # Paper: >=96% of above-threshold profiles are good.
+        assert stats["good_given_above"] >= 0.93
+
+    def test_low_confidence_profiles_are_mostly_bad(self, stats):
+        # Paper: 85-90% of below-threshold profiles are bad.
+        assert stats["bad_given_below"] >= 0.6
+
+    def test_threshold_is_informative(self, stats):
+        """Being above the threshold must raise the good-profile odds
+        relative to being below it."""
+        assert stats["good_given_above"] > 1.0 - stats["bad_given_below"]

@@ -1,0 +1,45 @@
+"""Unit tests for dollar-cost accounting."""
+
+import pytest
+
+from repro.evaluation.costs import CostLedger, DollarCostModel
+from repro.llm import A40, ClusterSpec, GPT_4O
+
+
+class TestDollarCostModel:
+    def test_api_call_uses_model_rates(self):
+        model = DollarCostModel()
+        cost = model.api_call(GPT_4O, 1000, 100)
+        assert cost == pytest.approx(1000 * 2.5e-6 + 100 * 10e-6)
+
+    def test_gpu_time(self):
+        model = DollarCostModel(dollar_per_gpu_hour=3.6)
+        cluster = ClusterSpec(A40)
+        assert model.gpu_time(cluster, 3600) == pytest.approx(3.6)
+
+    def test_rejects_negative(self):
+        model = DollarCostModel()
+        with pytest.raises(ValueError):
+            model.api_call(GPT_4O, -1, 0)
+        with pytest.raises(ValueError):
+            model.gpu_time(ClusterSpec(A40), -1)
+
+
+class TestCostLedger:
+    def test_accumulates(self):
+        ledger = CostLedger()
+        ledger.charge_api(GPT_4O, 1000, 10)
+        ledger.charge_api(GPT_4O, 1000, 10)
+        ledger.charge_gpu(ClusterSpec(A40), 100)
+        assert ledger.n_api_calls == 2
+        assert ledger.total_dollars == pytest.approx(
+            ledger.api_dollars + ledger.gpu_dollars
+        )
+        assert ledger.api_dollars > 0
+        assert ledger.gpu_dollars > 0
+
+    def test_per_query(self):
+        ledger = CostLedger()
+        ledger.charge_gpu(ClusterSpec(A40), 3600)
+        assert ledger.per_query(10) == pytest.approx(ledger.total_dollars / 10)
+        assert ledger.per_query(0) == 0.0

@@ -1,0 +1,68 @@
+"""Unit + property tests for token-level F1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.f1 import precision_recall, token_f1
+
+tokens = st.lists(st.sampled_from("abcdefgh"), max_size=30)
+
+
+class TestBasics:
+    def test_perfect_match(self):
+        assert token_f1(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_order_irrelevant(self):
+        assert token_f1(["b", "a"], ["a", "b"]) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert token_f1(["x"], ["y"]) == 0.0
+
+    def test_empty_prediction(self):
+        assert token_f1([], ["a"]) == 0.0
+
+    def test_empty_reference(self):
+        assert token_f1(["a"], []) == 0.0
+
+    def test_multiset_counting(self):
+        # "a" appears twice in prediction but once in reference:
+        # only one counts as overlap.
+        p, r = precision_recall(["a", "a"], ["a"])
+        assert p == 0.5
+        assert r == 1.0
+
+    def test_known_value(self):
+        assert token_f1(["the", "eiffel", "tower"],
+                        ["eiffel", "tower"]) == pytest.approx(0.8)
+
+
+class TestProperties:
+    @given(tokens, tokens)
+    def test_bounded(self, a, b):
+        assert 0.0 <= token_f1(a, b) <= 1.0
+
+    @given(tokens)
+    def test_self_match_is_one(self, a):
+        if a:
+            assert token_f1(a, a) == 1.0
+
+    @given(tokens, tokens)
+    def test_symmetry(self, a, b):
+        assert token_f1(a, b) == pytest.approx(token_f1(b, a))
+
+    @given(tokens, tokens)
+    def test_f1_is_harmonic_mean(self, a, b):
+        p, r = precision_recall(a, b)
+        f1 = token_f1(a, b)
+        if p + r == 0:
+            assert f1 == 0.0
+        else:
+            assert f1 == pytest.approx(2 * p * r / (p + r))
+
+    @given(tokens)
+    def test_adding_noise_reduces_precision(self, a):
+        if not a:
+            return
+        noisy = list(a) + ["≠never1", "≠never2"]
+        assert token_f1(noisy, a) < token_f1(a, a)

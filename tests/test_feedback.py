@@ -1,0 +1,78 @@
+"""Unit tests for the golden-configuration feedback loop (§5)."""
+
+import pytest
+
+from repro.core.feedback import (
+    FeedbackConfig,
+    FeedbackLoop,
+    GOLDEN_CONFIG,
+)
+from repro.core.profiler import GPT4O_PROFILER, LLMProfiler
+
+
+@pytest.fixture()
+def loop(finsec_bundle):
+    profiler = LLMProfiler(GPT4O_PROFILER, 40)
+    return FeedbackLoop(
+        profiler=profiler,
+        config=FeedbackConfig(every=5, keep=2, accuracy_boost_per_prompt=0.01),
+        chunk_tokens=finsec_bundle.chunk_tokens,
+    ), profiler
+
+
+class TestGoldenConfig:
+    def test_matches_paper(self):
+        assert GOLDEN_CONFIG.num_chunks == 30
+        assert GOLDEN_CONFIG.intermediate_length == 300
+        assert GOLDEN_CONFIG.synthesis_method.value == "map_reduce"
+
+
+class TestFeedbackLoop:
+    def test_fires_every_nth_query(self, loop, finsec_bundle):
+        fb, _ = loop
+        events = [
+            fb.on_query_complete(finsec_bundle.queries[i % 20])
+            for i in range(10)
+        ]
+        fired = [e for e in events if e is not None]
+        assert len(fired) == 2  # queries 5 and 10
+
+    def test_keeps_last_k_prompts(self, loop, finsec_bundle):
+        fb, _ = loop
+        for i in range(25):
+            fb.on_query_complete(finsec_bundle.queries[i % 20])
+        assert fb.n_active_prompts == 2  # keep=2
+
+    def test_boost_applied_to_profiler(self, loop, finsec_bundle):
+        fb, profiler = loop
+        base = profiler.accuracy
+        for i in range(5):
+            fb.on_query_complete(finsec_bundle.queries[i])
+        assert profiler.accuracy == pytest.approx(base + 0.01)
+        for i in range(5):
+            fb.on_query_complete(finsec_bundle.queries[i + 5])
+        assert profiler.accuracy == pytest.approx(base + 0.02)
+
+    def test_boost_saturates_at_keep(self, loop, finsec_bundle):
+        fb, profiler = loop
+        base_accuracy = GPT4O_PROFILER.base_accuracy
+        for i in range(30):
+            fb.on_query_complete(finsec_bundle.queries[i % 20])
+        assert profiler.accuracy <= base_accuracy + 2 * 0.01 + 1e-9
+
+    def test_event_costs_recorded(self, loop, finsec_bundle):
+        fb, _ = loop
+        for i in range(5):
+            event = fb.on_query_complete(finsec_bundle.queries[i])
+        assert event is not None
+        assert event.golden_prefill_tokens > GOLDEN_CONFIG.num_chunks * 1000
+        assert event.golden_output_tokens > 0
+        assert fb.events == [event]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackConfig(every=0)
+        with pytest.raises(ValueError):
+            FeedbackConfig(keep=0)
+        with pytest.raises(ValueError):
+            FeedbackConfig(accuracy_boost_per_prompt=0.5)

@@ -1,0 +1,139 @@
+"""Regression tests: the paper's Fig 4 response-surface shapes.
+
+These pin the qualitative behaviour the whole evaluation depends on.
+If a quality-model change breaks one of these, the experiment suite's
+conclusions are no longer comparable to the paper.
+"""
+
+import pytest
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.experiments.common import default_engine_config
+from repro.experiments.fig4_knobs import (
+    evaluate_config,
+    pick_representative_queries,
+)
+from repro.llm.costs import RooflineCostModel
+from repro.llm.quality import QualityModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.data import build_dataset
+
+    bundle = build_dataset("musique", n_queries=60)
+    engine = default_engine_config()
+    cost = RooflineCostModel(engine.model, engine.cluster)
+    quality = QualityModel(bundle.quality_params)
+    queries = pick_representative_queries(bundle)
+    return bundle, cost, quality, queries
+
+
+def method_f1(setup, label, method, ilen=100):
+    bundle, cost, quality, queries = setup
+    q = queries[label]
+    k = max(2, 2 * q.truth.pieces_of_information)
+    config = RAGConfig(method, k,
+                       ilen if method.uses_intermediate_length else 0)
+    return evaluate_config(bundle, q, config, cost, quality)
+
+
+class TestPanelA_SynthesisMethod:
+    def test_q1_rerank_is_cheapest_at_full_quality(self, setup):
+        """Simple queries: map_rerank suffices; joint methods only add
+        delay (paper: 2x delay without quality gain)."""
+        d_rerank, f_rerank = method_f1(setup, "Q1",
+                                       SynthesisMethod.MAP_RERANK)
+        d_stuff, f_stuff = method_f1(setup, "Q1", SynthesisMethod.STUFF)
+        d_mr, f_mr = method_f1(setup, "Q1", SynthesisMethod.MAP_REDUCE)
+        assert f_rerank >= f_stuff - 0.05
+        assert d_rerank < d_mr
+
+    def test_q2_joint_methods_beat_rerank(self, setup):
+        """Cross-chunk queries: stuff/map_reduce give a big quality
+        jump over map_rerank (paper: ~35%)."""
+        _, f_rerank = method_f1(setup, "Q2", SynthesisMethod.MAP_RERANK)
+        _, f_stuff = method_f1(setup, "Q2", SynthesisMethod.STUFF)
+        assert f_stuff > f_rerank * 1.15
+
+    def test_q3_map_reduce_best_for_complex(self, setup):
+        """Complex queries: map_reduce's denoising wins (paper: ~30%)."""
+        _, f_stuff = method_f1(setup, "Q3", SynthesisMethod.STUFF)
+        _, f_mr = method_f1(setup, "Q3", SynthesisMethod.MAP_REDUCE,
+                            ilen=150)
+        assert f_mr > f_stuff
+
+    def test_delay_ordering_rerank_stuff_mapreduce(self, setup):
+        d_rerank, _ = method_f1(setup, "Q2", SynthesisMethod.MAP_RERANK)
+        d_stuff, _ = method_f1(setup, "Q2", SynthesisMethod.STUFF)
+        d_mr, _ = method_f1(setup, "Q2", SynthesisMethod.MAP_REDUCE)
+        assert d_stuff < d_mr
+        assert d_rerank < d_mr
+
+
+class TestPanelB_NumChunks:
+    def sweep(self, setup, label):
+        bundle, cost, quality, queries = setup
+        q = queries[label]
+        return {
+            k: evaluate_config(bundle, q,
+                               RAGConfig(SynthesisMethod.STUFF, k),
+                               cost, quality)
+            for k in (1, 2, 3, 5, 8, 12, 18, 25, 35)
+        }
+
+    def test_q1_needs_one_chunk(self, setup):
+        points = self.sweep(setup, "Q1")
+        assert points[1][1] >= 0.9 * max(f for _, f in points.values())
+
+    def test_quality_drops_beyond_peak(self, setup):
+        """Over-retrieval harms quality (paper: up to 20% drop)."""
+        for label in ("Q1", "Q2"):
+            points = self.sweep(setup, label)
+            peak = max(f for _, f in points.values())
+            assert points[35][1] < peak * 0.97
+
+    def test_delay_grows_with_chunks(self, setup):
+        points = self.sweep(setup, "Q2")
+        delays = [points[k][0] for k in (1, 5, 12, 35)]
+        assert delays == sorted(delays)
+        assert delays[-1] > 3 * delays[0]  # paper: up to 3x inflation
+
+    def test_q2_needs_multiple_chunks(self, setup):
+        points = self.sweep(setup, "Q2")
+        assert points[8][1] > points[1][1] * 1.3
+
+
+class TestPanelC_IntermediateLength:
+    def sweep(self, setup, label):
+        bundle, cost, quality, queries = setup
+        q = queries[label]
+        k = max(2, 2 * q.truth.pieces_of_information)
+        return {
+            ilen: evaluate_config(
+                bundle, q, RAGConfig(SynthesisMethod.MAP_REDUCE, k, ilen),
+                cost, quality)
+            for ilen in (10, 25, 50, 100, 150, 200)
+        }
+
+    def test_q1_saturates_early(self, setup):
+        """Simple queries need only short summaries (paper: 10-20)."""
+        points = self.sweep(setup, "Q1")
+        best = max(f for _, f in points.values())
+        assert points[50][1] >= 0.95 * best
+
+    def test_tiny_summaries_starve_everyone(self, setup):
+        for label in ("Q1", "Q2", "Q3"):
+            points = self.sweep(setup, label)
+            best = max(f for _, f in points.values())
+            assert points[10][1] < best * 0.9
+
+    def test_quality_monotone_in_budget(self, setup):
+        points = self.sweep(setup, "Q3")
+        f1s = [points[i][1] for i in (10, 50, 150)]
+        assert f1s == sorted(f1s)
+
+    def test_delay_monotone_in_budget(self, setup):
+        points = self.sweep(setup, "Q3")
+        delays = [points[i][0] for i in (10, 50, 150, 200)]
+        assert delays == sorted(delays)

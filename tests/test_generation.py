@@ -1,0 +1,115 @@
+"""Unit tests for the sampled answer generator."""
+
+import pytest
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.llm.generation import SimulatedGenerator
+from repro.llm.quality import (
+    ChunkView,
+    FactView,
+    QualityModel,
+    QualityParams,
+    SynthesisContext,
+)
+
+
+def make_ctx(n_facts=3, retrieved=None, qid="q1") -> SynthesisContext:
+    facts = [
+        FactView(fact_id=f"f{i}",
+                 value_tokens=(f"val{i}a", f"val{i}b"),
+                 verbosity=15.0)
+        for i in range(n_facts)
+    ]
+    retrieved = facts if retrieved is None else retrieved
+    chunks = tuple(
+        ChunkView(chunk_id=f"c{i}", n_tokens=400, facts=(f,))
+        for i, f in enumerate(retrieved)
+    )
+    return SynthesisContext(
+        query_id=qid, complexity_high=False, joint_reasoning=True,
+        required_facts=tuple(facts), chunks=chunks,
+        answer_template_tokens=("the", "answer", "is"),
+    )
+
+
+@pytest.fixture()
+def generator():
+    return SimulatedGenerator(quality=QualityModel(QualityParams()),
+                              root_seed=7)
+
+
+config = RAGConfig(SynthesisMethod.STUFF, 3)
+
+
+class TestDeterminism:
+    def test_same_seed_same_answer(self, generator):
+        ctx = make_ctx()
+        a = generator.generate(ctx, config)
+        b = generator.generate(ctx, config)
+        assert a.tokens == b.tokens
+        assert a.f1 == b.f1
+
+    def test_different_query_different_stream(self, generator):
+        a = generator.generate(make_ctx(qid="q1"), config)
+        b = generator.generate(make_ctx(qid="q2"), config)
+        assert a.tokens != b.tokens or a.f1 != b.f1
+
+    def test_different_config_different_stream(self, generator):
+        ctx = make_ctx()
+        a = generator.generate(ctx, RAGConfig(SynthesisMethod.STUFF, 3))
+        b = generator.generate(ctx, RAGConfig(SynthesisMethod.MAP_RERANK, 3))
+        assert a.tokens != b.tokens or a.f1 != b.f1
+
+
+class TestAnswers:
+    def test_f1_in_bounds(self, generator):
+        answer = generator.generate(make_ctx(), config)
+        assert 0.0 <= answer.f1 <= 1.0
+
+    def test_coverage_bookkeeping(self, generator):
+        answer = generator.generate(make_ctx(n_facts=4), config)
+        assert answer.n_required == 4
+        assert 0 <= answer.n_recovered <= 4
+        assert answer.coverage == pytest.approx(answer.n_recovered / 4)
+
+    def test_no_retrieval_no_recovery(self, generator):
+        ctx = make_ctx(n_facts=2, retrieved=[])
+        # Without any retrieved chunk, nothing can be recovered.
+        answer = generator.generate(ctx, RAGConfig(SynthesisMethod.STUFF, 1))
+        assert answer.n_recovered == 0
+
+    def test_full_retrieval_beats_partial_on_average(self, generator):
+        full_scores, partial_scores = [], []
+        for i in range(30):
+            full = make_ctx(n_facts=3, qid=f"q{i}")
+            partial = make_ctx(
+                n_facts=3,
+                retrieved=[full.required_facts[0]],
+                qid=f"q{i}",
+            )
+            full_scores.append(generator.generate(full, config).f1)
+            partial_scores.append(generator.generate(partial, config).f1)
+        assert (sum(full_scores) / len(full_scores)
+                > sum(partial_scores) / len(partial_scores))
+
+    def test_expected_f1_attached(self, generator):
+        answer = generator.generate(make_ctx(), config)
+        assert 0.0 <= answer.expected_f1 <= 1.0
+
+    def test_sampled_f1_tracks_expected(self, generator):
+        """Mean sampled F1 over many queries approaches the analytic
+        expectation (loose tolerance; it's a first-order estimate)."""
+        diffs = []
+        for i in range(60):
+            ctx = make_ctx(qid=f"stat{i}")
+            answer = generator.generate(ctx, config)
+            diffs.append(answer.f1 - answer.expected_f1)
+        mean_diff = sum(diffs) / len(diffs)
+        assert abs(mean_diff) < 0.08
+
+    def test_wrong_tokens_never_collide_with_truth(self, generator):
+        ctx = make_ctx()
+        answer = generator.generate(ctx, config)
+        truth = set(ctx.ground_truth_tokens())
+        wrong = [t for t in answer.tokens if t.startswith("≠wrong")]
+        assert not truth.intersection(wrong)

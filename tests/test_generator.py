@@ -1,0 +1,127 @@
+"""Unit tests for the dataset generator internals."""
+
+import dataclasses
+
+import pytest
+
+from repro.data.datasets import get_spec
+from repro.data.generator import DatasetSpec, generate_dataset
+from repro.data.vocab import (
+    FILLER_WORDS,
+    VALUE_WORDS,
+    make_entity_name,
+    make_filler_sentence,
+    make_value_phrase,
+)
+from repro.util.rng import RngStreams
+
+
+@pytest.fixture()
+def rng():
+    return RngStreams(0).get("test")
+
+
+class TestVocab:
+    def test_entity_names_are_short_tokens(self, rng):
+        for kind in ("corp", "place", "person", "team"):
+            name = make_entity_name(rng, kind)
+            first = name.split()[0]
+            assert len(first) <= 6  # stays a single tokenizer token
+
+    def test_entity_kinds_have_distinct_suffixes(self, rng):
+        place = make_entity_name(rng, "place")
+        assert place.split()[-1] in ("county", "city", "valley", "district")
+
+    def test_value_phrase_length(self, rng):
+        assert len(make_value_phrase(rng, 4).split()) == 4
+
+    def test_value_phrase_beyond_pool_pads(self, rng):
+        n = len(VALUE_WORDS) + 5
+        phrase = make_value_phrase(rng, n)
+        assert len(phrase.split()) == n
+        assert len(set(phrase.split())) == n  # still no duplicates
+
+    def test_value_phrase_rejects_zero(self, rng):
+        with pytest.raises(ValueError):
+            make_value_phrase(rng, 0)
+
+    def test_filler_topic_rate_zero_uses_only_filler(self, rng):
+        sentence = make_filler_sentence(rng, ("zzztopic",), topic_rate=0.0)
+        assert "zzztopic" not in sentence
+
+    def test_filler_topic_rate_one_uses_only_topic(self, rng):
+        sentence = make_filler_sentence(rng, ("zzztopic",), topic_rate=1.0)
+        words = sentence.rstrip(".").lower().split()
+        assert all(w == "zzztopic" for w in words)
+
+    def test_filler_vocab_disjoint_from_values(self):
+        assert not set(FILLER_WORDS) & set(VALUE_WORDS)
+
+
+class TestDatasetSpecValidation:
+    def test_pieces_probs_must_sum_to_one(self):
+        spec = get_spec("squad")
+        with pytest.raises(ValueError, match="sum to 1"):
+            dataclasses.replace(spec, pieces_probs=((1, 0.5), (2, 0.4)))
+
+    def test_needs_enough_docs(self):
+        spec = get_spec("squad")
+        with pytest.raises(ValueError, match="4 documents"):
+            dataclasses.replace(spec, n_docs=2)
+
+    def test_needs_queries(self):
+        spec = get_spec("squad")
+        with pytest.raises(ValueError, match="1 query"):
+            dataclasses.replace(spec, n_queries=0)
+
+
+class TestGeneratedStructure:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        spec = dataclasses.replace(get_spec("musique"), n_docs=8,
+                                   n_queries=15)
+        return generate_dataset(spec, seed=1)
+
+    def test_doc_lengths_in_range(self, tiny):
+        lo, hi = get_spec("musique").doc_token_range
+        for n in tiny.doc_tokens.values():
+            assert lo * 0.8 <= n <= hi * 1.2
+
+    def test_cross_doc_queries_span_documents(self, tiny):
+        multi = [q for q in tiny.queries
+                 if q.truth.pieces_of_information >= 2]
+        assert multi, "expected some multi-piece queries"
+        spanning = 0
+        for q in multi:
+            docs = {tiny.facts[fid].doc_id
+                    for fid in q.truth.required_fact_ids}
+            if len(docs) >= 2:
+                spanning += 1
+        assert spanning / len(multi) > 0.7
+
+    def test_summary_range_tracks_verbosity(self, tiny):
+        for q in tiny.queries:
+            lo, hi = q.truth.summary_range
+            max_verbosity = max(tiny.facts[fid].verbosity
+                                for fid in q.truth.required_fact_ids)
+            assert hi >= max_verbosity  # budget can hold the worst fact
+
+    def test_answer_estimate_close_to_truth(self, tiny):
+        for q in tiny.queries:
+            truth_len = (len(q.truth.answer_template_tokens)
+                         + sum(len(tiny.facts[fid].value_tokens)
+                               for fid in q.truth.required_fact_ids))
+            assert q.answer_tokens_estimate >= min(truth_len, 4)
+
+    def test_same_doc_queries_prefer_distinct_chunks(self):
+        spec = dataclasses.replace(get_spec("finsec"), n_docs=8,
+                                   n_queries=20)
+        bundle = generate_dataset(spec, seed=2)
+        fact_chunk = {fid: cid for cid, fids in bundle.chunk_facts.items()
+                      for fid in fids}
+        for q in bundle.queries:
+            if q.truth.pieces_of_information < 3:
+                continue
+            chunks = {fact_chunk[fid] for fid in q.truth.required_fact_ids}
+            # At least two distinct chunks involved for 3+-piece queries.
+            assert len(chunks) >= 2

@@ -1,0 +1,64 @@
+"""Unit tests for Algorithm 1 (profile → pruned space)."""
+
+import pytest
+
+from repro.config.knobs import SynthesisMethod
+from repro.core.mapping import MAX_NUM_CHUNKS, map_profile_to_space
+from repro.core.profiles import QueryProfile
+
+
+def profile(joint=True, high=True, pieces=3, summary=(60, 120)):
+    return QueryProfile(complexity_high=high, joint_reasoning=joint,
+                        pieces=pieces, summary_range=summary,
+                        confidence=0.95)
+
+
+class TestAlgorithm1:
+    def test_no_joint_maps_to_map_rerank(self):
+        space = map_profile_to_space(profile(joint=False))
+        assert space.methods == (SynthesisMethod.MAP_RERANK,)
+
+    def test_joint_low_complexity_maps_to_stuff(self):
+        space = map_profile_to_space(profile(joint=True, high=False))
+        assert space.methods == (SynthesisMethod.STUFF,)
+
+    def test_joint_high_complexity_maps_to_both(self):
+        space = map_profile_to_space(profile(joint=True, high=True))
+        assert space.methods == (SynthesisMethod.STUFF,
+                                 SynthesisMethod.MAP_REDUCE)
+
+    def test_chunks_range_is_pieces_to_3x(self):
+        space = map_profile_to_space(profile(pieces=4))
+        assert space.num_chunks_range == (4, 12)
+
+    def test_chunk_slack_parameter(self):
+        space = map_profile_to_space(profile(pieces=4), chunk_slack=2.0)
+        assert space.num_chunks_range == (4, 8)
+
+    def test_chunks_capped(self):
+        space = map_profile_to_space(profile(pieces=10))
+        assert space.num_chunks_range[1] <= MAX_NUM_CHUNKS
+
+    def test_summary_range_passthrough(self):
+        space = map_profile_to_space(profile(summary=(70, 140)))
+        assert space.intermediate_length_range == (70, 140)
+
+    def test_summary_range_clamped(self):
+        space = map_profile_to_space(profile(summary=(5, 900)))
+        lo, hi = space.intermediate_length_range
+        assert lo >= 20
+        assert hi <= 200
+
+    def test_invalid_slack_rejected(self):
+        with pytest.raises(ValueError):
+            map_profile_to_space(profile(), chunk_slack=0.5)
+
+    def test_pruning_reduces_space(self):
+        space = map_profile_to_space(profile(pieces=2))
+        # Paper: 50-100x reduction; at pieces=2 the pruned space is
+        # tiny relative to the full grid.
+        assert space.reduction_factor() > 3.0
+
+    def test_ilen_steps_forwarded(self):
+        space = map_profile_to_space(profile(), ilen_steps=2)
+        assert space.ilen_steps == 2

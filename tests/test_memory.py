@@ -1,0 +1,60 @@
+"""Unit tests for the GPU memory partition model."""
+
+import pytest
+
+from repro.llm import A40, ClusterSpec, LLAMA3_70B_AWQ, MISTRAL_7B_AWQ
+from repro.serving.memory import GPUMemoryModel
+from repro.util.units import GB
+
+
+class TestGPUMemoryModel:
+    def test_partition_adds_up(self):
+        mem = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40))
+        assert mem.kv_pool_bytes == pytest.approx(
+            mem.usable_bytes - MISTRAL_7B_AWQ.weight_bytes - mem.activation_bytes
+        )
+
+    def test_pool_cap_applies(self):
+        capped = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40),
+                                kv_pool_cap_bytes=2 * GB)
+        assert capped.kv_pool_bytes == 2 * GB
+
+    def test_cap_larger_than_pool_is_noop(self):
+        uncapped = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40))
+        capped = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40),
+                                kv_pool_cap_bytes=500 * GB)
+        assert capped.kv_pool_bytes == uncapped.kv_pool_bytes
+
+    def test_pool_tokens_consistent(self):
+        mem = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40))
+        assert mem.kv_pool_tokens == int(
+            mem.kv_pool_bytes // MISTRAL_7B_AWQ.kv_bytes_per_token
+        )
+
+    def test_n_blocks(self):
+        mem = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40))
+        assert mem.n_blocks(16) == mem.kv_pool_tokens // 16
+
+    def test_tokens_to_bytes(self):
+        mem = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40))
+        assert mem.tokens_to_bytes(10) == 10 * MISTRAL_7B_AWQ.kv_bytes_per_token
+
+    def test_model_too_big_rejected(self):
+        # 70B AWQ does not fit a single A40 at 30% utilisation.
+        with pytest.raises(ValueError, match="does not fit"):
+            GPUMemoryModel(LLAMA3_70B_AWQ, ClusterSpec(A40),
+                           gpu_memory_utilization=0.5)
+
+    def test_70b_fits_two_gpus(self):
+        mem = GPUMemoryModel(LLAMA3_70B_AWQ, ClusterSpec(A40, n_gpus=2))
+        assert mem.kv_pool_bytes > 0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40),
+                           kv_pool_cap_bytes=0)
+
+    def test_bad_blocks_arg(self):
+        mem = GPUMemoryModel(MISTRAL_7B_AWQ, ClusterSpec(A40))
+        with pytest.raises(ValueError):
+            mem.n_blocks(0)

@@ -1,0 +1,198 @@
+"""Unit + property tests for the behavioural quality model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.knobs import SynthesisMethod
+from repro.llm.quality import (
+    ChunkView,
+    FactView,
+    QualityModel,
+    QualityParams,
+    SynthesisContext,
+)
+
+model = QualityModel(QualityParams())
+
+
+def fact(fid: str, n_tokens: int = 3, verbosity: float = 20.0) -> FactView:
+    return FactView(fact_id=fid,
+                    value_tokens=tuple(f"{fid}v{i}" for i in range(n_tokens)),
+                    verbosity=verbosity)
+
+
+def ctx(facts_per_chunk, required, complexity_high=False,
+        joint=True, chunk_tokens=500, qid="q") -> SynthesisContext:
+    chunks = tuple(
+        ChunkView(chunk_id=f"c{i}", n_tokens=chunk_tokens, facts=tuple(fs))
+        for i, fs in enumerate(facts_per_chunk)
+    )
+    return SynthesisContext(
+        query_id=qid, complexity_high=complexity_high,
+        joint_reasoning=joint, required_facts=tuple(required),
+        chunks=chunks, answer_template_tokens=("the", "answer", "is"),
+    )
+
+
+class TestLostInTheMiddle:
+    def test_short_context_no_penalty(self):
+        assert model.lim_factor(1000, 0.5) == 1.0
+
+    def test_middle_worse_than_edges(self):
+        long = 20_000
+        assert model.lim_factor(long, 0.5) < model.lim_factor(long, 0.05)
+        assert model.lim_factor(long, 0.5) < model.lim_factor(long, 0.95)
+
+    def test_penalty_grows_with_length(self):
+        assert model.lim_factor(30_000, 0.5) < model.lim_factor(5_000, 0.5)
+
+    def test_saturates(self):
+        assert model.lim_factor(10**6, 0.5) >= 1.0 - model.params.lim_max_depth
+
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.floats(min_value=0, max_value=1))
+    def test_bounded(self, tokens, pos):
+        assert 0.0 < model.lim_factor(tokens, pos) <= 1.0
+
+
+class TestMapRerank:
+    def test_answers_from_single_best_chunk(self):
+        f1, f2 = fact("f1"), fact("f2")
+        # f1 and f2 in different chunks: only one can be recovered.
+        c = ctx([[f1], [f2]], [f1, f2])
+        probs = model.fact_recovery_probs(c, SynthesisMethod.MAP_RERANK)
+        assert sorted(probs.values())[0] == 0.0
+        assert sorted(probs.values())[1] > 0.5
+
+    def test_colocated_facts_both_recoverable(self):
+        f1, f2 = fact("f1"), fact("f2")
+        c = ctx([[f1, f2]], [f1, f2])
+        probs = model.fact_recovery_probs(c, SynthesisMethod.MAP_RERANK)
+        assert all(p > 0.5 for p in probs.values())
+
+    def test_complexity_penalty(self):
+        f1 = fact("f1")
+        low = ctx([[f1]], [f1], complexity_high=False)
+        high = ctx([[f1]], [f1], complexity_high=True)
+        p_low = model.fact_recovery_probs(low, SynthesisMethod.MAP_RERANK)["f1"]
+        p_high = model.fact_recovery_probs(high, SynthesisMethod.MAP_RERANK)["f1"]
+        assert p_high < p_low
+
+
+class TestStuff:
+    def test_all_retrieved_facts_recoverable(self):
+        f1, f2 = fact("f1"), fact("f2")
+        c = ctx([[f1], [f2]], [f1, f2])
+        probs = model.fact_recovery_probs(c, SynthesisMethod.STUFF)
+        assert all(p > 0.5 for p in probs.values())
+
+    def test_unretrieved_fact_is_zero(self):
+        f1, f2 = fact("f1"), fact("f2")
+        c = ctx([[f1]], [f1, f2])  # f2's chunk not retrieved
+        probs = model.fact_recovery_probs(c, SynthesisMethod.STUFF)
+        assert probs["f2"] == 0.0
+
+    def test_middle_chunk_recovers_worse_in_long_context(self):
+        facts = [fact(f"f{i}") for i in range(9)]
+        c = ctx([[f] for f in facts], facts, chunk_tokens=3_000)
+        probs = model.fact_recovery_probs(c, SynthesisMethod.STUFF)
+        assert probs["f4"] < probs["f0"]  # middle vs first
+
+
+class TestMapReduce:
+    def test_ample_budget_recovers(self):
+        f1 = fact("f1", verbosity=30)
+        c = ctx([[f1]], [f1])
+        probs = model.fact_recovery_probs(c, SynthesisMethod.MAP_REDUCE,
+                                          intermediate_length=120)
+        assert probs["f1"] > 0.7
+
+    def test_starved_budget_loses_facts(self):
+        f1 = fact("f1", verbosity=80)
+        c = ctx([[f1]], [f1])
+        starved = model.fact_recovery_probs(c, SynthesisMethod.MAP_REDUCE,
+                                            intermediate_length=20)
+        ample = model.fact_recovery_probs(c, SynthesisMethod.MAP_REDUCE,
+                                          intermediate_length=200)
+        assert starved["f1"] < 0.3 < ample["f1"]
+
+    def test_budget_monotonicity(self):
+        f1 = fact("f1", verbosity=60)
+        c = ctx([[f1]], [f1])
+        last = 0.0
+        for ilen in (10, 40, 80, 160, 300):
+            p = model.fact_recovery_probs(
+                c, SynthesisMethod.MAP_REDUCE, intermediate_length=ilen
+            )["f1"]
+            assert p >= last
+            last = p
+
+    def test_competing_facts_share_budget(self):
+        f1, f2 = fact("f1", verbosity=50), fact("f2", verbosity=50)
+        together = ctx([[f1, f2]], [f1, f2])
+        alone = ctx([[f1]], [f1])
+        p_together = model.fact_recovery_probs(
+            together, SynthesisMethod.MAP_REDUCE, intermediate_length=80
+        )["f1"]
+        p_alone = model.fact_recovery_probs(
+            alone, SynthesisMethod.MAP_REDUCE, intermediate_length=80
+        )["f1"]
+        assert p_together < p_alone
+
+    def test_high_complexity_prefers_map_reduce_over_stuff(self):
+        facts = [fact(f"f{i}") for i in range(4)]
+        c = ctx([[f] for f in facts], facts, complexity_high=True,
+                chunk_tokens=2_000)
+        stuff_f1 = model.expected_f1(c, SynthesisMethod.STUFF)
+        mr_f1 = model.expected_f1(c, SynthesisMethod.MAP_REDUCE,
+                                  intermediate_length=150)
+        assert mr_f1 > stuff_f1
+
+    def test_requires_positive_ilen(self):
+        f1 = fact("f1")
+        c = ctx([[f1]], [f1])
+        with pytest.raises(ValueError):
+            model.fact_recovery_probs(c, SynthesisMethod.MAP_REDUCE, 0)
+
+
+class TestNoiseAndExpectedF1:
+    def test_irrelevant_fraction(self):
+        f1 = fact("f1")
+        c = ctx([[f1], [], []], [f1])
+        assert c.irrelevant_fraction == pytest.approx(2 / 3)
+
+    def test_noise_grows_with_irrelevant_chunks(self):
+        f1 = fact("f1")
+        lean = ctx([[f1]], [f1])
+        bloated = ctx([[f1], [], [], [], []], [f1])
+        assert (model.expected_noise_tokens(bloated, SynthesisMethod.STUFF)
+                > model.expected_noise_tokens(lean, SynthesisMethod.STUFF))
+
+    def test_over_retrieval_hurts_expected_f1(self):
+        f1 = fact("f1")
+        lean = ctx([[f1]], [f1])
+        bloated = ctx([[f1]] + [[]] * 30, [f1], chunk_tokens=800)
+        assert (model.expected_f1(bloated, SynthesisMethod.STUFF)
+                < model.expected_f1(lean, SynthesisMethod.STUFF))
+
+    def test_expected_f1_bounded(self):
+        f1 = fact("f1")
+        c = ctx([[f1]], [f1])
+        for method in SynthesisMethod:
+            v = model.expected_f1(c, method, intermediate_length=100)
+            assert 0.0 <= v <= 1.0
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=10))
+    def test_more_coverage_never_hurts_recall_side(self, n_required, n_noise):
+        """Retrieving the chunks that contain required facts dominates
+        not retrieving them (with noise chunks held constant)."""
+        facts = [fact(f"f{i}") for i in range(n_required)]
+        full = ctx([[f] for f in facts] + [[]] * n_noise, facts)
+        partial = ctx([[facts[0]]] + [[]] * n_noise, facts)
+        f_full = model.expected_f1(full, SynthesisMethod.STUFF)
+        f_partial = model.expected_f1(partial, SynthesisMethod.STUFF)
+        if n_required > 1:
+            assert f_full > f_partial

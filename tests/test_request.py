@@ -1,0 +1,99 @@
+"""Unit tests for inference requests and scheduling policies."""
+
+import pytest
+
+from repro.serving.policies import AppAwarePolicy, FCFSPolicy, make_policy
+from repro.serving.request import InferenceRequest, RequestPhase
+
+
+def req(prompt=100, out=10, t=0.0, app="a", stage=0, prio=0):
+    return InferenceRequest(prompt_tokens=prompt, output_tokens=out,
+                            arrival_time=t, app_id=app, stage=stage,
+                            priority=prio)
+
+
+class TestInferenceRequest:
+    def test_initial_phase(self):
+        r = req()
+        assert r.phase is RequestPhase.WAITING
+        assert r.total_tokens == 110
+        assert r.remaining_prefill == 100
+        assert r.remaining_decode == 10
+        assert r.remaining_work_tokens == 110
+
+    def test_kv_tokens_track_progress(self):
+        r = req()
+        r.prefilled_tokens = 60
+        r.decoded_tokens = 3
+        assert r.kv_tokens_in_use == 63
+        assert r.remaining_prefill == 40
+
+    def test_delays(self):
+        r = req(t=5.0)
+        assert r.queueing_delay == 0.0
+        r.admitted_time = 7.0
+        r.finish_time = 12.0
+        assert r.queueing_delay == pytest.approx(2.0)
+        assert r.e2e_delay == pytest.approx(7.0)
+
+    def test_unique_ids(self):
+        assert req().request_id != req().request_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            req(prompt=0)
+        with pytest.raises(ValueError):
+            req(out=0)
+        with pytest.raises(ValueError):
+            req(t=-1.0)
+
+
+class TestFCFSPolicy:
+    def test_orders_by_arrival(self):
+        a, b, c = req(t=3), req(t=1), req(t=2)
+        assert FCFSPolicy().order([a, b, c], []) == [b, c, a]
+
+    def test_priority_first(self):
+        low = req(t=0, prio=1)
+        high = req(t=5, prio=0)
+        assert FCFSPolicy().order([low, high], []) == [high, low]
+
+    def test_does_not_mutate(self):
+        waiting = [req(t=2), req(t=1)]
+        FCFSPolicy().order(waiting, [])
+        assert waiting[0].arrival_time == 2
+
+
+class TestAppAwarePolicy:
+    def test_least_remaining_work_first(self):
+        small = req(prompt=100, app="small", t=1.0)
+        big = req(prompt=10_000, app="big", t=0.0)
+        ordered = AppAwarePolicy().order([big, small], [])
+        assert ordered[0] is small
+
+    def test_running_work_counts_toward_app(self):
+        # app "x" has a huge call running, so its waiting call ranks
+        # behind app "y" despite arriving earlier.
+        running = req(prompt=50_000, app="x", t=0.0)
+        waiting_x = req(prompt=100, app="x", t=0.0)
+        waiting_y = req(prompt=100, app="y", t=1.0)
+        ordered = AppAwarePolicy().order([waiting_x, waiting_y], [running])
+        assert ordered[0] is waiting_y
+
+    def test_same_app_calls_stay_contiguous(self):
+        a1 = req(prompt=100, app="a", t=0.0, stage=0)
+        a2 = req(prompt=100, app="a", t=0.0, stage=1)
+        b = req(prompt=150, app="b", t=0.5)
+        ordered = AppAwarePolicy().order([a1, b, a2], [])
+        positions = {id(r): i for i, r in enumerate(ordered)}
+        assert abs(positions[id(a1)] - positions[id(a2)]) == 1
+
+
+class TestMakePolicy:
+    def test_known_names(self):
+        assert isinstance(make_policy("fcfs"), FCFSPolicy)
+        assert isinstance(make_policy("app-aware"), AppAwarePolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="app-aware"):
+            make_policy("lifo")

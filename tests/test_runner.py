@@ -1,0 +1,105 @@
+"""Integration tests for the workload runner."""
+
+import pytest
+
+from repro.baselines import FixedConfigPolicy
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.data.workload import poisson_arrivals, sequential_arrivals
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.common import make_metis
+
+
+STUFF8 = RAGConfig(SynthesisMethod.STUFF, 8)
+MR6 = RAGConfig(SynthesisMethod.MAP_REDUCE, 6, 100)
+
+
+@pytest.fixture()
+def runner(finsec_bundle, engine_config):
+    return ExperimentRunner(finsec_bundle, engine_config, seed=0)
+
+
+class TestOpenLoop:
+    def test_every_query_gets_a_record(self, runner, finsec_bundle):
+        arrivals = poisson_arrivals(finsec_bundle.queries, 1.5, seed=0)
+        result = runner.run(FixedConfigPolicy(STUFF8), arrivals)
+        assert len(result.records) == len(finsec_bundle.queries)
+        assert {r.query_id for r in result.records} == {
+            q.query_id for q in finsec_bundle.queries
+        }
+
+    def test_timestamps_ordered(self, runner, finsec_bundle):
+        arrivals = poisson_arrivals(finsec_bundle.queries, 1.5, seed=0)
+        result = runner.run(FixedConfigPolicy(STUFF8), arrivals)
+        for r in result.records:
+            assert r.arrival_time <= r.decision_time <= r.finish_time
+            assert r.e2e_delay > 0
+
+    def test_summary_fields(self, runner, finsec_bundle):
+        arrivals = poisson_arrivals(finsec_bundle.queries, 1.5, seed=0)
+        result = runner.run(FixedConfigPolicy(STUFF8), arrivals)
+        s = result.summary()
+        assert s["mean_delay_s"] > 0
+        assert 0 < s["mean_f1"] < 1
+        assert s["throughput_qps"] > 0
+        assert result.delay_percentile(90) >= result.delay_percentile(50)
+
+    def test_multi_stage_plans_execute(self, runner, finsec_bundle):
+        arrivals = poisson_arrivals(finsec_bundle.queries[:10], 1.0, seed=0)
+        result = runner.run(FixedConfigPolicy(MR6), arrivals)
+        assert len(result.records) == 10
+        # map_reduce prefills mappers + reduce: more prefill tokens than
+        # a single stuff call would need.
+        assert all(r.prefill_tokens > 6 * 900 for r in result.records)
+
+    def test_deterministic(self, finsec_bundle, engine_config):
+        arrivals = poisson_arrivals(finsec_bundle.queries, 1.5, seed=0)
+        r1 = ExperimentRunner(finsec_bundle, engine_config, seed=0).run(
+            FixedConfigPolicy(STUFF8), arrivals)
+        r2 = ExperimentRunner(finsec_bundle, engine_config, seed=0).run(
+            FixedConfigPolicy(STUFF8), arrivals)
+        assert r1.mean_delay == r2.mean_delay
+        assert r1.mean_f1 == r2.mean_f1
+
+    def test_gpu_cost_charged(self, runner, finsec_bundle):
+        arrivals = poisson_arrivals(finsec_bundle.queries[:10], 1.0, seed=0)
+        result = runner.run(FixedConfigPolicy(STUFF8), arrivals)
+        assert result.ledger.gpu_dollars > 0
+        assert result.ledger.api_dollars == 0  # no profiler
+
+    def test_empty_workload_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.run(FixedConfigPolicy(STUFF8), [])
+
+
+class TestClosedLoop:
+    def test_sequential_serialises(self, runner, finsec_bundle):
+        arrivals = sequential_arrivals(finsec_bundle.queries[:8])
+        result = runner.run(FixedConfigPolicy(STUFF8), arrivals)
+        assert len(result.records) == 8
+        ordered = sorted(result.records, key=lambda r: r.arrival_time)
+        for prev, nxt in zip(ordered, ordered[1:]):
+            assert nxt.arrival_time >= prev.finish_time - 1e-9
+
+    def test_sequential_has_no_queueing(self, runner, finsec_bundle):
+        arrivals = sequential_arrivals(finsec_bundle.queries[:8])
+        result = runner.run(FixedConfigPolicy(STUFF8), arrivals)
+        assert all(r.queueing_delay < 0.5 for r in result.records)
+
+
+class TestMetisThroughRunner:
+    def test_metis_records_profiler_costs(self, runner, finsec_bundle):
+        arrivals = poisson_arrivals(finsec_bundle.queries, 1.5, seed=0)
+        result = runner.run(make_metis(finsec_bundle), arrivals)
+        assert all(r.profiler_seconds > 0 for r in result.records)
+        assert all(r.confidence is not None for r in result.records)
+        assert result.ledger.api_dollars > 0
+        assert result.mean_profiler_fraction > 0
+
+    def test_chunk_clipping_flagged_for_oversized_stuff(
+            self, finsec_bundle, engine_config):
+        runner = ExperimentRunner(finsec_bundle, engine_config, seed=0)
+        # 35 chunks * 1024 tokens > the 32k context: must clip.
+        big = RAGConfig(SynthesisMethod.STUFF, 35)
+        arrivals = poisson_arrivals(finsec_bundle.queries[:5], 0.5, seed=0)
+        result = runner.run(FixedConfigPolicy(big), arrivals)
+        assert any(r.chunks_clipped for r in result.records)

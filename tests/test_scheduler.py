@@ -1,0 +1,121 @@
+"""Unit tests for the joint configuration/scheduling best-fit (§4.3)."""
+
+import pytest
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.config.space import PrunedSpace
+from repro.core.policy import SchedulingView
+from repro.core.scheduler import JointScheduler
+from repro.synthesis import make_synthesizer
+
+KV_BYTES = 131_072  # Mistral-7B per token
+CHUNK_TOKENS = 500
+QUERY_TOKENS = 30
+ANSWER_TOKENS = 20
+
+
+def make_view(available_tokens: float) -> SchedulingView:
+    def estimate(config: RAGConfig):
+        synthesizer = make_synthesizer(config.synthesis_method)
+        return synthesizer.build_plan(
+            query_id="est", query_tokens=QUERY_TOKENS,
+            chunk_tokens=[CHUNK_TOKENS] * config.num_chunks,
+            answer_tokens=ANSWER_TOKENS, config=config,
+        )
+
+    return SchedulingView(
+        now=0.0,
+        free_kv_bytes=available_tokens * KV_BYTES,
+        available_kv_bytes=available_tokens * KV_BYTES,
+        kv_bytes_per_token=KV_BYTES,
+        chunk_tokens=CHUNK_TOKENS,
+        query_tokens=QUERY_TOKENS,
+        answer_tokens=ANSWER_TOKENS,
+        estimate_plan=estimate,
+    )
+
+
+def space(methods=(SynthesisMethod.STUFF,), chunks=(2, 6), ilen=(50, 150)):
+    return PrunedSpace(methods=methods, num_chunks_range=chunks,
+                       intermediate_length_range=ilen)
+
+
+scheduler = JointScheduler()
+
+
+class TestBestFit:
+    def test_ample_memory_picks_most_expensive(self):
+        decision = scheduler.choose(space(), make_view(1_000_000))
+        assert decision.config.num_chunks == 6
+        assert not decision.fell_back
+
+    def test_scarce_memory_throttles_num_chunks(self):
+        # ~2.1k tokens available: fits stuff k<=3 (3*500 + overhead).
+        decision = scheduler.choose(space(), make_view(2_100))
+        assert decision.config.num_chunks < 6
+        assert not decision.fell_back
+
+    def test_picks_highest_cost_fitting(self):
+        ample = scheduler.choose(space(), make_view(1_000_000))
+        tight = scheduler.choose(space(), make_view(2_100))
+        assert tight.plan.cost_tokens < ample.plan.cost_tokens
+
+    def test_fig8_unit_fit_prefers_map_reduce(self):
+        """When no whole plan fits, map_reduce's small mappers still do."""
+        both = space(methods=(SynthesisMethod.STUFF,
+                              SynthesisMethod.MAP_REDUCE),
+                     chunks=(4, 6))
+        # ~900 tokens: no whole plan fits (stuff k=4 needs ~2.1k, and
+        # map_reduce's total is larger); a single mapper (~700) does.
+        decision = scheduler.choose(both, make_view(900))
+        assert not decision.fell_back
+        assert decision.config.synthesis_method is SynthesisMethod.MAP_REDUCE
+
+    def test_diagnostics_counts(self):
+        decision = scheduler.choose(space(), make_view(1_000_000))
+        assert decision.n_candidates == 5  # k in 2..6
+        assert decision.n_fitting == 5
+
+
+class TestFallback:
+    def test_no_memory_falls_back(self):
+        decision = scheduler.choose(space(), make_view(0))
+        assert decision.fell_back
+
+    def test_fallback_without_rerank_uses_stuff(self):
+        decision = scheduler.choose(
+            space(methods=(SynthesisMethod.STUFF, SynthesisMethod.MAP_REDUCE)),
+            make_view(0),
+        )
+        assert decision.config.synthesis_method is SynthesisMethod.STUFF
+
+    def test_fallback_with_rerank_uses_rerank(self):
+        decision = scheduler.choose(
+            space(methods=(SynthesisMethod.MAP_RERANK,)), make_view(0)
+        )
+        assert decision.config.synthesis_method is SynthesisMethod.MAP_RERANK
+
+    def test_fallback_meets_pieces_requirement(self):
+        # Even with zero memory, the fallback keeps >= the range's
+        # lower bound (the profile's pieces estimate).
+        decision = scheduler.choose(space(chunks=(3, 9)), make_view(0))
+        assert decision.config.num_chunks >= 3
+
+    def test_fallback_respects_upper_bound(self):
+        decision = scheduler.choose(space(chunks=(2, 4)),
+                                    make_view(1_000_000))
+        assert decision.config.num_chunks <= 4
+
+
+class TestBuffer:
+    def test_buffer_tightens_fit(self):
+        loose = JointScheduler(memory_buffer_frac=0.0)
+        tight = JointScheduler(memory_buffer_frac=0.4)
+        view = make_view(2_700)
+        k_loose = loose.choose(space(), view).config.num_chunks
+        k_tight = tight.choose(space(), view).config.num_chunks
+        assert k_tight <= k_loose
+
+    def test_invalid_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            JointScheduler(memory_buffer_frac=0.9)

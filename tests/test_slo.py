@@ -1,0 +1,75 @@
+"""Unit tests for SLO analysis."""
+
+import pytest
+
+from repro.baselines import FixedConfigPolicy
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.data.workload import poisson_arrivals
+from repro.evaluation.runner import ExperimentRunner
+from repro.evaluation.slo import evaluate_slo, goodput_qps, required_budget
+
+
+@pytest.fixture(scope="module")
+def run_result(finsec_bundle):
+    from repro.experiments.common import default_engine_config
+
+    runner = ExperimentRunner(finsec_bundle, default_engine_config(), seed=0)
+    arrivals = poisson_arrivals(finsec_bundle.queries, 1.2, seed=0)
+    return runner.run(
+        FixedConfigPolicy(RAGConfig(SynthesisMethod.STUFF, 8)), arrivals
+    )
+
+
+# Module-scoped bundle fixture lives in conftest at session scope; the
+# run itself is cached per module above.
+@pytest.fixture(scope="module")
+def finsec_bundle():
+    from repro.data import build_dataset
+
+    return build_dataset("finsec", n_queries=30)
+
+
+class TestEvaluateSlo:
+    def test_generous_slo_full_attainment(self, run_result):
+        report = evaluate_slo(run_result, slo_seconds=1e6)
+        assert report.attainment == 1.0
+        assert report.n_within == report.n_queries
+        assert report.worst_excess_seconds == 0.0
+        assert report.meets(0.99)
+
+    def test_impossible_slo_zero_attainment(self, run_result):
+        report = evaluate_slo(run_result, slo_seconds=1e-6)
+        assert report.attainment == 0.0
+        assert report.worst_excess_seconds > 0
+        assert not report.meets(0.5)
+
+    def test_attainment_monotone_in_budget(self, run_result):
+        budgets = (0.5, 1.0, 2.0, 5.0, 20.0)
+        attainments = [
+            evaluate_slo(run_result, b).attainment for b in budgets
+        ]
+        assert attainments == sorted(attainments)
+
+    def test_goodput_bounded_by_throughput(self, run_result):
+        assert (goodput_qps(run_result, 2.0)
+                <= run_result.throughput_qps + 1e-9)
+
+    def test_rejects_bad_slo(self, run_result):
+        with pytest.raises(ValueError):
+            evaluate_slo(run_result, 0.0)
+
+
+class TestRequiredBudget:
+    def test_budget_achieves_attainment(self, run_result):
+        budget = required_budget(run_result, target_attainment=0.9)
+        report = evaluate_slo(run_result, budget)
+        assert report.attainment >= 0.9
+
+    def test_budget_monotone_in_target(self, run_result):
+        assert (required_budget(run_result, 0.5)
+                <= required_budget(run_result, 0.99))
+
+    def test_full_attainment_is_max_delay(self, run_result):
+        budget = required_budget(run_result, 1.0)
+        max_delay = max(r.e2e_delay for r in run_result.records)
+        assert budget == pytest.approx(max_delay)

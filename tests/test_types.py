@@ -1,0 +1,93 @@
+"""Unit tests for dataset-facing types (QueryTruth, Query, DatasetBundle)."""
+
+import pytest
+
+from repro.data.types import Query, QueryTruth
+
+
+def make_truth(**overrides):
+    fields = dict(
+        complexity_high=False,
+        joint_reasoning=True,
+        required_fact_ids=("f1", "f2"),
+        summary_range=(40, 80),
+        answer_template_tokens=("the", "answer", "is"),
+    )
+    fields.update(overrides)
+    return QueryTruth(**fields)
+
+
+class TestQueryTruth:
+    def test_pieces_counts_facts(self):
+        assert make_truth().pieces_of_information == 2
+
+    def test_requires_facts(self):
+        with pytest.raises(ValueError, match="at least one fact"):
+            make_truth(required_fact_ids=())
+
+    def test_rejects_bad_summary_range(self):
+        with pytest.raises(ValueError):
+            make_truth(summary_range=(80, 40))
+        with pytest.raises(ValueError):
+            make_truth(summary_range=(0, 40))
+
+
+class TestQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Query(query_id="q", text="x", n_tokens=0, truth=make_truth(),
+                  answer_tokens_estimate=5)
+        with pytest.raises(ValueError):
+            Query(query_id="q", text="x", n_tokens=3, truth=make_truth(),
+                  answer_tokens_estimate=0)
+
+
+class TestDatasetBundle:
+    def test_query_by_id(self, finsec_bundle):
+        q = finsec_bundle.queries[3]
+        assert finsec_bundle.query_by_id(q.query_id) is q
+
+    def test_query_by_id_unknown(self, finsec_bundle):
+        with pytest.raises(KeyError):
+            finsec_bundle.query_by_id("missing-q")
+
+    def test_relevant_chunk_ids_hold_required_facts(self, finsec_bundle):
+        q = finsec_bundle.queries[0]
+        relevant = finsec_bundle.relevant_chunk_ids(q)
+        assert relevant
+        needed = set(q.truth.required_fact_ids)
+        for chunk_id in relevant:
+            assert needed & set(finsec_bundle.chunk_facts[chunk_id])
+
+    def test_synthesis_context_preserves_rank_order(self, finsec_bundle):
+        q = finsec_bundle.queries[0]
+        hits = finsec_bundle.store.search(q.text, 5)
+        chunk_ids = [h.chunk.chunk_id for h in hits]
+        ctx = finsec_bundle.synthesis_context(q, chunk_ids)
+        assert [c.chunk_id for c in ctx.chunks] == chunk_ids
+
+    def test_synthesis_context_only_required_facts(self, finsec_bundle):
+        q = finsec_bundle.queries[0]
+        hits = finsec_bundle.store.search(q.text, 8)
+        ctx = finsec_bundle.synthesis_context(
+            q, [h.chunk.chunk_id for h in hits]
+        )
+        needed = set(q.truth.required_fact_ids)
+        for chunk in ctx.chunks:
+            for fact in chunk.facts:
+                assert fact.fact_id in needed
+
+    def test_ground_truth_includes_template_and_values(self, finsec_bundle):
+        q = finsec_bundle.queries[0]
+        ctx = finsec_bundle.synthesis_context(q, [])
+        gt = ctx.ground_truth_tokens()
+        assert gt[: len(q.truth.answer_template_tokens)] == \
+            q.truth.answer_template_tokens
+        assert len(gt) > len(q.truth.answer_template_tokens)
+
+    def test_table1_row_keys(self, finsec_bundle):
+        row = finsec_bundle.table1_row()
+        assert set(row) == {"input_p10", "input_p90",
+                            "output_p10", "output_p90"}
+        assert row["input_p10"] <= row["input_p90"]
+        assert row["output_p10"] <= row["output_p90"]

@@ -1,0 +1,109 @@
+"""Unit tests for util: RNG streams, unit formatting, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    GB,
+    MB,
+    RngStreams,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    derive_seed,
+    format_bytes,
+    format_duration,
+    format_tokens,
+    stream,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_different_names_differ(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_name_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_int_parts_accepted(self):
+        assert derive_seed(1, 5, "x") == derive_seed(1, 5, "x")
+
+
+class TestRngStreams:
+    def test_cached_stream_is_same_object(self):
+        rngs = RngStreams(3)
+        assert rngs.get("x") is rngs.get("x")
+
+    def test_fresh_streams_restart(self):
+        rngs = RngStreams(3)
+        a = rngs.fresh("x").random(5)
+        b = rngs.fresh("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_named_streams_are_independent(self):
+        rngs = RngStreams(3)
+        a = rngs.fresh("x").random(100)
+        b = rngs.fresh("y").random(100)
+        assert not np.allclose(a, b)
+
+    def test_child_derives_new_root(self):
+        rngs = RngStreams(3)
+        child = rngs.child("sub")
+        assert child.root_seed != rngs.root_seed
+        assert child.root_seed == RngStreams(3).child("sub").root_seed
+
+    def test_module_level_stream_matches(self):
+        assert np.allclose(stream(5, "q").random(3),
+                           RngStreams(5).fresh("q").random(3))
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(10) == "10 B"
+        assert format_bytes(2 * MB) == "2.00 MiB"
+        assert format_bytes(48 * GB) == "48.00 GiB"
+
+    def test_format_duration_units(self):
+        assert format_duration(5e-7).endswith("us")
+        assert format_duration(0.05).endswith("ms")
+        assert format_duration(2.0).endswith("s")
+        assert format_duration(300).endswith("min")
+
+    def test_format_duration_negative(self):
+        assert format_duration(-0.5).startswith("-")
+
+    def test_format_tokens(self):
+        assert format_tokens(500) == "500 tok"
+        assert format_tokens(12_800) == "12.8K tok"
+        assert format_tokens(3_000_000) == "3.0M tok"
+
+
+class TestValidation:
+    def test_check_positive_passes_and_returns(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_probability(self):
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.2)
+
+    def test_check_in_range(self):
+        assert check_in_range("v", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("v", 11, 0, 10)
