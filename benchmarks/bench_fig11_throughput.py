@@ -1,4 +1,12 @@
-"""Benchmark: regenerate the paper's fig11_throughput via its experiment driver."""
+"""Benchmark: regenerate the paper's fig11_throughput via its experiment driver.
+
+Also runs the cluster replica-sweep variant and drops its table as a
+JSON artifact (``benchmarks/artifacts/fig11_replica_sweep.json``) so
+scaling regressions are diffable across runs.
+"""
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -6,7 +14,28 @@ from repro.experiments import fig11_throughput
 
 from conftest import run_experiment
 
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
 
 @pytest.mark.benchmark(group="fig11_throughput")
 def test_fig11_throughput(benchmark, bench_fast):
     run_experiment(benchmark, fig11_throughput, bench_fast)
+
+
+@pytest.mark.benchmark(group="fig11_throughput")
+def test_fig11_replica_sweep(benchmark, bench_fast):
+    report = benchmark.pedantic(
+        fig11_throughput.run_replica_sweep,
+        kwargs={"fast": bench_fast}, rounds=1, iterations=1,
+    )
+    print()
+    print(report.format())
+    assert report.rows, "replica sweep produced no rows"
+
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    artifact = ARTIFACT_DIR / "fig11_replica_sweep.json"
+    artifact.write_text(json.dumps(
+        {"name": report.name, "rows": report.rows, "notes": report.notes},
+        indent=2, sort_keys=True,
+    ))
+    print(f"\nartifact: {artifact}")

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro run --dataset finsec --policy metis --rate 1.4
     python -m repro run --dataset qmsum --policy vllm --config stuff/8
+    python -m repro run --dataset finsec --policy metis --replicas 4 \\
+        --router power-of-two
     python -m repro experiment fig10 --fast
     python -m repro datasets
 
@@ -20,13 +22,15 @@ import sys
 from repro.baselines import FixedConfigPolicy, ParrotPolicy
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.data import DATASET_NAMES, build_dataset
-from repro.evaluation.reports import format_table
+from repro.evaluation.reports import format_table, per_replica_rows
+from repro.serving.cluster import ROUTER_NAMES
 
 __all__ = ["main", "parse_config_label", "build_policy"]
 
 _EXPERIMENTS = (
     "table1", "fig4_knobs", "fig5_per_query", "fig9_confidence",
-    "fig10_delay", "fig11_throughput", "fig12_breakdown", "fig13_cost",
+    "fig10_delay", "fig11_throughput", "fig11_replicas",
+    "fig12_breakdown", "fig13_cost",
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig19_lowload",
 )
@@ -88,9 +92,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         bundle, policy,
         rate_qps=args.rate, seed=args.seed,
         sequential=args.sequential,
+        n_replicas=args.replicas, router=args.router,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
-    print(format_table(rows, title=f"{policy.name} on {args.dataset}"))
+    title = f"{policy.name} on {args.dataset}"
+    if args.replicas > 1:
+        title += f" ({args.replicas} replicas, {args.router} router)"
+    print(format_table(rows, title=title))
+    if args.replicas > 1:
+        print()
+        print(format_table(per_replica_rows(result),
+                           title="Per-replica serving stats"))
     return 0
 
 
@@ -138,6 +150,12 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--queries", type=int, default=100)
     run.add_argument("--sequential", action="store_true",
                      help="closed-loop workload (Fig 19 mode)")
+    run.add_argument("--replicas", type=int, default=1,
+                     help="number of serving-engine replicas (default 1)")
+    run.add_argument("--router", choices=ROUTER_NAMES,
+                     default="least-kv-load",
+                     help="cluster load-balancing policy "
+                          "(with --replicas > 1)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

@@ -16,7 +16,13 @@ from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.config.space import PrunedSpace
 from repro.core.feedback import FeedbackConfig, FeedbackLoop
 from repro.core.mapping import map_profile_to_space
-from repro.core.policy import Decision, PrepResult, RAGPolicy, SchedulingView
+from repro.core.policy import (
+    ClusterSchedulingView,
+    Decision,
+    PrepResult,
+    RAGPolicy,
+    SchedulingView,
+)
 from repro.core.profiler import GPT4O_PROFILER, LLMProfiler, ProfilerModelSpec
 from repro.data.types import Query
 from repro.util.validation import check_probability
@@ -43,6 +49,12 @@ class MetisConfig:
     adapt_synthesis: bool = True
     adapt_intermediate_length: bool = True
     memory_aware: bool = True
+    #: Cluster mode: when serving behind a multi-replica cluster and the
+    #: routed replica cannot fit any pruned configuration, re-place the
+    #: query on the replica with the most claimable KV memory instead of
+    #: falling back to a degraded configuration. No-op on single-replica
+    #: views.
+    cluster_aware: bool = True
     #: "best_fit" (METIS), "median" (strawman of §4.3) or "max"
     #: (quality-maximising, what AdaptiveRAG*-style tuners do).
     selection_mode: str = "best_fit"
@@ -177,15 +189,46 @@ class MetisPolicy(RAGPolicy):
                 config=pruned.most_expensive_config(), pruned_space=pruned
             )
         decision = self.scheduler.choose(pruned, view)
+        notes = {
+            "n_candidates": decision.n_candidates,
+            "n_fitting": decision.n_fitting,
+        }
+        if decision.fell_back:
+            rescued, replica = self._cluster_rescue(pruned, view)
+            if rescued is not None:
+                decision = rescued
+                notes["n_fitting"] = rescued.n_fitting
+                notes["preferred_replica"] = replica
         return Decision(
             config=decision.config,
             pruned_space=pruned,
             fell_back=decision.fell_back,
-            notes={
-                "n_candidates": decision.n_candidates,
-                "n_fitting": decision.n_fitting,
-            },
+            notes=notes,
         )
+
+    def _cluster_rescue(self, pruned: PrunedSpace, view: SchedulingView):
+        """Cluster mode: retry a falling-back pick on the freest replica.
+
+        Joint configuration *and placement* scheduling: the per-replica
+        prune already happened against the routed replica's memory; if
+        even the fallback path triggered there, a sibling replica with
+        more claimable KV can often serve an in-range configuration.
+        Returns ``(decision, replica_id)`` or ``(None, None)``.
+        """
+        if not self.config.cluster_aware:
+            return None, None
+        if not isinstance(view, ClusterSchedulingView) or view.n_replicas < 2:
+            return None, None
+        best = view.best_replica()
+        if best == view.replica_id:
+            return None, None
+        if (view.replica_available_kv_bytes[best]
+                <= view.available_kv_bytes):
+            return None, None
+        alternative = self.scheduler.choose(pruned, view.for_replica(best))
+        if alternative.fell_back:
+            return None, None
+        return alternative, best
 
     def describe(self) -> str:
         mode = self.config.selection_mode

@@ -16,6 +16,7 @@ these two hooks and in which engine scheduling policy they request.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable
@@ -26,7 +27,8 @@ from repro.core.profiles import QueryProfile
 from repro.data.types import Query
 from repro.synthesis.plans import SynthesisPlan
 
-__all__ = ["PrepResult", "SchedulingView", "Decision", "RAGPolicy"]
+__all__ = ["PrepResult", "SchedulingView", "ClusterSchedulingView",
+           "Decision", "RAGPolicy"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +67,48 @@ class SchedulingView:
         """Whether a plan's minimum resident footprint fits right now."""
         need = plan.fit_tokens * self.kv_bytes_per_token * (1.0 + buffer_frac)
         return need <= self.available_kv_bytes
+
+
+@dataclass(frozen=True)
+class ClusterSchedulingView(SchedulingView):
+    """A :class:`SchedulingView` onto one replica of a serving cluster.
+
+    The scalar ``free_kv_bytes`` / ``available_kv_bytes`` fields are
+    the *routed* replica's figures, so a memory-aware scheduler prunes
+    per-replica by construction. The per-replica tuples expose the
+    whole cluster for placement decisions (e.g. METIS' fallback rescue:
+    when nothing fits on the routed replica, re-place the query where
+    memory is plentiful instead of degrading its configuration).
+    """
+
+    replica_id: int = 0
+    replica_free_kv_bytes: tuple[float, ...] = ()
+    replica_available_kv_bytes: tuple[float, ...] = ()
+
+    @property
+    def n_replicas(self) -> int:
+        return max(1, len(self.replica_available_kv_bytes))
+
+    def for_replica(self, replica_id: int) -> "ClusterSchedulingView":
+        """The same moment in time, viewed from another replica."""
+        if not 0 <= replica_id < len(self.replica_available_kv_bytes):
+            raise ValueError(
+                f"replica_id {replica_id} out of range "
+                f"[0, {len(self.replica_available_kv_bytes)})"
+            )
+        return dataclasses.replace(
+            self,
+            replica_id=replica_id,
+            free_kv_bytes=self.replica_free_kv_bytes[replica_id],
+            available_kv_bytes=self.replica_available_kv_bytes[replica_id],
+        )
+
+    def best_replica(self) -> int:
+        """Replica with the most claimable KV memory (ties: lowest id)."""
+        avail = self.replica_available_kv_bytes
+        if not avail:
+            return self.replica_id
+        return max(range(len(avail)), key=lambda i: (avail[i], -i))
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,9 @@ __all__ = [
     "ParetoPoint",
     "QueryRecord",
     "RunResult",
+    "cluster_summary",
     "pareto_frontier",
+    "per_replica_rows",
     "precision_recall",
     "token_f1",
 ]
@@ -27,6 +29,8 @@ _LAZY = {
     "ExperimentRunner": "repro.evaluation.runner",
     "QueryRecord": "repro.evaluation.runner",
     "RunResult": "repro.evaluation.runner",
+    "cluster_summary": "repro.evaluation.reports",
+    "per_replica_rows": "repro.evaluation.reports",
 }
 
 

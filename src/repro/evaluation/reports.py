@@ -1,15 +1,18 @@
-"""Plain-text table formatting for experiment reports.
+"""Plain-text table formatting and cluster-run aggregation.
 
 Every benchmark regenerates a paper table/figure as rows of
 ``{column: value}``; this module renders them uniformly so the bench
-output is directly comparable with the paper's plots.
+output is directly comparable with the paper's plots. For
+multi-replica runs it also folds per-replica engine counters (KV
+occupancy, queue pressure, fallback rate) into cluster summaries.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "format_ratio", "Reporter"]
+__all__ = ["format_table", "format_ratio", "Reporter",
+           "per_replica_rows", "cluster_summary"]
 
 
 def _fmt(value) -> str:
@@ -62,6 +65,62 @@ def format_ratio(numerator: float, denominator: float) -> str:
     if denominator <= 0:
         return "n/a"
     return f"{numerator / denominator:.2f}x"
+
+
+# ----------------------------------------------------------------------
+# Cluster-run aggregation
+# ----------------------------------------------------------------------
+def per_replica_rows(result) -> list[dict]:
+    """One row of serving counters per cluster replica.
+
+    ``result`` is a :class:`~repro.evaluation.runner.RunResult`
+    (duck-typed: anything with ``records`` carrying ``replica`` /
+    ``fell_back`` / ``queueing_delay`` and a ``replica_stats`` list).
+    """
+    rows: list[dict] = []
+    for i, stats in enumerate(result.replica_stats):
+        records = [r for r in result.records if r.replica == i]
+        n = len(records)
+        n_fallback = sum(1 for r in records if r.fell_back)
+        delays = sorted(r.queueing_delay for r in records)
+        p50 = delays[len(delays) // 2] if delays else 0.0
+        rows.append(dict(
+            replica=i,
+            queries=n,
+            requests_finished=stats.requests_finished,
+            busy_seconds=stats.busy_seconds,
+            peak_kv_utilization=stats.peak_kv_utilization,
+            admission_stalls=stats.admission_stalls,
+            fallback_rate=(n_fallback / n) if n else 0.0,
+            p50_queue_delay_s=p50,
+        ))
+    return rows
+
+
+def cluster_summary(result) -> dict:
+    """Fold per-replica stats into one cluster-level summary row.
+
+    ``load_imbalance`` is max/mean queries per replica (1.0 = perfectly
+    balanced); ``peak_kv_utilization`` is the worst replica's peak.
+    """
+    rows = per_replica_rows(result)
+    if not rows:
+        return dict(n_replicas=0, queries=0, fallback_rate=0.0,
+                    peak_kv_utilization=0.0, admission_stalls=0,
+                    load_imbalance=0.0, busy_seconds=0.0)
+    queries = [row["queries"] for row in rows]
+    total = sum(queries)
+    n_fallback = sum(row["fallback_rate"] * row["queries"] for row in rows)
+    mean_load = total / len(rows)
+    return dict(
+        n_replicas=len(rows),
+        queries=total,
+        fallback_rate=(n_fallback / total) if total else 0.0,
+        peak_kv_utilization=max(row["peak_kv_utilization"] for row in rows),
+        admission_stalls=sum(row["admission_stalls"] for row in rows),
+        load_imbalance=(max(queries) / mean_load) if mean_load else 0.0,
+        busy_seconds=sum(row["busy_seconds"] for row in rows),
+    )
 
 
 class Reporter:

@@ -21,14 +21,22 @@ from typing import Callable
 import numpy as np
 
 from repro.config.knobs import RAGConfig
-from repro.core.policy import Decision, PrepResult, RAGPolicy, SchedulingView
+from repro.core.policy import (
+    ClusterSchedulingView,
+    Decision,
+    PrepResult,
+    RAGPolicy,
+    SchedulingView,
+)
 from repro.data.types import DatasetBundle, Query
 from repro.data.workload import Arrival
 from repro.evaluation.costs import CostLedger
 from repro.llm.generation import SimulatedGenerator
 from repro.llm.quality import QualityModel, QualityParams
+from repro.serving.cluster import ClusterEngine
 from repro.serving.engine import EngineConfig, EngineStats, ServingEngine
 from repro.serving.request import InferenceRequest
+from repro.util.validation import check_positive
 from repro.synthesis import make_synthesizer
 from repro.synthesis.plans import SynthesisPlan
 
@@ -59,6 +67,8 @@ class QueryRecord:
     queueing_delay: float
     prefill_tokens: int
     output_tokens: int
+    #: Which cluster replica served this query (0 on a bare engine).
+    replica: int = 0
 
     @property
     def e2e_delay(self) -> float:
@@ -82,6 +92,8 @@ class RunResult:
     makespan: float
     engine_stats: EngineStats
     ledger: CostLedger
+    #: Per-replica engine counters (one entry on a bare engine).
+    replica_stats: list[EngineStats] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def _delays(self) -> np.ndarray:
@@ -147,10 +159,18 @@ class _Execution:
     first_admitted: float | None = None
     prefill_tokens: int = 0
     output_tokens: int = 0
+    replica: int = 0
 
 
 class ExperimentRunner:
-    """Runs one policy over one dataset workload on a fresh engine."""
+    """Runs one policy over one dataset workload on a fresh engine.
+
+    With ``n_replicas > 1`` the workload is served by a
+    :class:`~repro.serving.cluster.ClusterEngine` — N engine replicas
+    behind the named load-aware ``router`` — and each policy decision
+    sees a :class:`ClusterSchedulingView` of the replica its query was
+    routed to.
+    """
 
     def __init__(
         self,
@@ -158,10 +178,15 @@ class ExperimentRunner:
         engine_config: EngineConfig,
         seed: int = 0,
         quality_params: QualityParams | None = None,
+        n_replicas: int = 1,
+        router: str = "least-kv-load",
     ) -> None:
+        check_positive("n_replicas", n_replicas)
         self.bundle = bundle
         self.engine_config = engine_config
         self.seed = seed
+        self.n_replicas = int(n_replicas)
+        self.router = router
         params = quality_params or bundle.quality_params
         self.generator = SimulatedGenerator(
             quality=QualityModel(params), root_seed=seed
@@ -178,9 +203,17 @@ class ExperimentRunner:
         """
         if not arrivals:
             raise ValueError("empty workload")
-        engine = ServingEngine(
-            replace(self.engine_config, policy=policy.engine_policy)
-        )
+        config = replace(self.engine_config, policy=policy.engine_policy)
+        engine: ServingEngine | ClusterEngine
+        if self.n_replicas > 1:
+            engine = ClusterEngine(
+                config,
+                n_replicas=self.n_replicas,
+                router=self.router,
+                seed=self.seed,
+            )
+        else:
+            engine = ServingEngine(config)
         ledger = CostLedger()
         records: list[QueryRecord] = []
         events: list[tuple[float, int, str, object]] = []
@@ -215,6 +248,14 @@ class ExperimentRunner:
             ex.decision_time = t
             view = self._make_view(engine, ex.query)
             ex.decision = policy.choose(ex.query, ex.prep, view)
+            if isinstance(engine, ClusterEngine):
+                # Cluster-aware policies may re-place the query on a
+                # replica with more claimable memory (fallback rescue).
+                preferred = ex.decision.notes.get("preferred_replica")
+                if preferred is not None:
+                    engine.pin_app(ex.query.query_id, preferred)
+                pinned = engine.replica_of_app(ex.query.query_id)
+                ex.replica = 0 if pinned is None else pinned
             hits = self.bundle.store.search(
                 ex.query.text, ex.decision.config.num_chunks
             )
@@ -296,8 +337,11 @@ class ExperimentRunner:
                 ),
                 prefill_tokens=ex.prefill_tokens,
                 output_tokens=ex.output_tokens,
+                replica=ex.replica,
             )
             records.append(record)
+            if isinstance(engine, ClusterEngine):
+                engine.release_app(ex.query.query_id)
             policy.on_complete(ex.query, answer.f1, record.e2e_delay)
             if pending_closed:
                 nxt = pending_closed.pop(0)
@@ -327,6 +371,10 @@ class ExperimentRunner:
         ledger.charge_gpu(engine.cluster, engine.stats.busy_seconds)
         self._charge_feedback(policy, engine, ledger)
         makespan = engine.now
+        if isinstance(engine, ClusterEngine):
+            replica_stats = [r.stats for r in engine.replicas]
+        else:
+            replica_stats = [engine.stats]
         return RunResult(
             policy=policy.name,
             dataset=self.bundle.name,
@@ -334,6 +382,7 @@ class ExperimentRunner:
             makespan=makespan,
             engine_stats=engine.stats,
             ledger=ledger,
+            replica_stats=replica_stats,
         )
 
     # ------------------------------------------------------------------
@@ -343,7 +392,8 @@ class ExperimentRunner:
             self._synthesizers[method] = make_synthesizer(method)
         return self._synthesizers[method]
 
-    def _make_view(self, engine: ServingEngine, query: Query) -> SchedulingView:
+    def _make_view(self, engine: ServingEngine | ClusterEngine,
+                   query: Query) -> SchedulingView:
         chunk_tokens = self.bundle.chunk_tokens
 
         def estimate_plan(config: RAGConfig) -> SynthesisPlan:
@@ -354,6 +404,29 @@ class ExperimentRunner:
                 chunk_tokens=[chunk_tokens] * config.num_chunks,
                 answer_tokens=query.answer_tokens_estimate,
                 config=config,
+            )
+
+        if isinstance(engine, ClusterEngine):
+            # Route (and pin) the query now so the policy sees the KV
+            # memory of the replica its calls will actually land on.
+            rid = engine.assign_app(query.query_id)
+            target = engine.replicas[rid]
+            return ClusterSchedulingView(
+                now=engine.now,
+                free_kv_bytes=target.free_kv_bytes(),
+                available_kv_bytes=target.available_kv_bytes(),
+                kv_bytes_per_token=target.memory.kv_bytes_per_token,
+                chunk_tokens=chunk_tokens,
+                query_tokens=query.n_tokens,
+                answer_tokens=query.answer_tokens_estimate,
+                estimate_plan=estimate_plan,
+                replica_id=rid,
+                replica_free_kv_bytes=tuple(
+                    r.free_kv_bytes() for r in engine.replicas
+                ),
+                replica_available_kv_bytes=tuple(
+                    r.available_kv_bytes() for r in engine.replicas
+                ),
             )
 
         return SchedulingView(
@@ -368,7 +441,7 @@ class ExperimentRunner:
         )
 
     def _clipped_chunk_tokens(self, ex: _Execution,
-                              engine: ServingEngine) -> list[int]:
+                              engine: ServingEngine | ClusterEngine) -> list[int]:
         """Clip the retrieved chunk list to the model's context budget.
 
         ``stuff`` concatenates everything into one prompt; a fixed
@@ -399,7 +472,8 @@ class ExperimentRunner:
             )
         return tokens
 
-    def _charge_feedback(self, policy: RAGPolicy, engine: ServingEngine,
+    def _charge_feedback(self, policy: RAGPolicy,
+                         engine: ServingEngine | ClusterEngine,
                          ledger: CostLedger) -> None:
         """Charge GPU time for golden-configuration feedback runs."""
         feedback = getattr(policy, "feedback", None)

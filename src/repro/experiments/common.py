@@ -183,8 +183,15 @@ def run_policy(
     engine_config: EngineConfig | None = None,
     quality_params: QualityParams | None = None,
     sequential: bool = False,
+    n_replicas: int = 1,
+    router: str = "least-kv-load",
 ) -> RunResult:
-    """Run one policy over the bundle's standard workload."""
+    """Run one policy over the bundle's standard workload.
+
+    ``n_replicas > 1`` serves the workload on a replicated cluster
+    behind the named load-aware ``router`` (see
+    :mod:`repro.serving.cluster`).
+    """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     if sequential:
         arrivals = sequential_arrivals(queries)
@@ -196,6 +203,8 @@ def run_policy(
         engine_config or default_engine_config(),
         seed=seed,
         quality_params=quality_params,
+        n_replicas=n_replicas,
+        router=router,
     )
     return runner.run(policy, arrivals)
 

@@ -1,0 +1,11 @@
+"""Fig 11 (cluster variant): aggregate throughput vs replica count.
+
+Thin CLI-facing alias so ``python -m repro experiment fig11_replicas``
+runs the replica sweep defined next to the original Fig 11 driver.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_throughput import run_replica_sweep as run
+
+__all__ = ["run"]

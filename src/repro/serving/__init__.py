@@ -3,9 +3,23 @@
 Stands in for vLLM on the paper's A40 testbed: paged KV-cache block
 manager, iteration-level (continuous) batching, chunked prefill,
 admission control against KV memory, and pluggable scheduling policies
-(FCFS like vLLM; app-aware grouping like Parrot).
+(FCFS like vLLM; app-aware grouping like Parrot). The ``cluster``
+module replicates the engine N-fold behind a load-aware router for
+multi-instance serving experiments.
 """
 
+from repro.serving.cluster import (
+    ClusterEngine,
+    ClusterStepInfo,
+    LeastKVLoadRouter,
+    LeastOutstandingRouter,
+    PowerOfTwoRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    ROUTER_NAMES,
+    make_router,
+)
 from repro.serving.engine import EngineConfig, ServingEngine, StepInfo
 from repro.serving.kv_cache import BlockManager
 from repro.serving.memory import GPUMemoryModel
@@ -20,13 +34,23 @@ from repro.serving.request import InferenceRequest, RequestPhase
 __all__ = [
     "AppAwarePolicy",
     "BlockManager",
+    "ClusterEngine",
+    "ClusterStepInfo",
     "EngineConfig",
     "FCFSPolicy",
     "GPUMemoryModel",
     "InferenceRequest",
+    "LeastKVLoadRouter",
+    "LeastOutstandingRouter",
+    "PowerOfTwoRouter",
+    "ReplicaSnapshot",
     "RequestPhase",
+    "RoundRobinRouter",
+    "Router",
+    "ROUTER_NAMES",
     "SchedulingPolicy",
     "ServingEngine",
     "StepInfo",
     "make_policy",
+    "make_router",
 ]

@@ -1,0 +1,364 @@
+"""Multi-replica serving cluster: N engines behind a load-aware router.
+
+A :class:`ClusterEngine` owns N independent :class:`ServingEngine`
+replicas and steps them in *lockstep on a shared clock*: each
+:meth:`ClusterEngine.step` advances the busy replica whose local clock
+lags furthest behind (ties broken by replica index), so no replica's
+simulated time ever runs ahead of another replica that still has work
+at an earlier timestamp. With one replica the cluster is therefore
+step-for-step identical to a bare engine — the golden-trace test pins
+this down.
+
+Requests are placed by a pluggable :class:`Router`. Routing is sticky
+per application (``app_id``): every LLM call of one RAG query lands on
+the same replica, which keeps a query's mappers and reducer co-located
+(Parrot-style app-aware batching stays meaningful) and lets METIS'
+joint scheduler prune configurations against *that* replica's free KV
+memory. Requests with an empty ``app_id`` are routed independently.
+
+Router contracts (see docs/CLUSTER.md):
+
+* ``select`` is called once per new app (or per unpinned request) and
+  must return a replica index in ``[0, n_replicas)``.
+* Routers may inspect replica load (queue depth, KV occupancy) but must
+  not mutate replicas.
+* All routers are deterministic given their construction arguments;
+  :class:`PowerOfTwoRouter` draws from a named ``repro.util.rng``
+  stream, so a root seed fixes its choices.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.serving.engine import EngineConfig, EngineStats, ServingEngine, StepInfo
+from repro.serving.request import InferenceRequest
+from repro.util.rng import stream
+from repro.util.validation import check_positive
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterStepInfo",
+    "LeastKVLoadRouter",
+    "LeastOutstandingRouter",
+    "PowerOfTwoRouter",
+    "ReplicaSnapshot",
+    "RoundRobinRouter",
+    "Router",
+    "ROUTER_NAMES",
+    "make_router",
+]
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+class Router(ABC):
+    """Picks the replica a new app (or unpinned request) is placed on."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def select(self, replicas: Sequence[ServingEngine]) -> int:
+        """Return the target replica index in ``[0, len(replicas))``."""
+
+    @staticmethod
+    def outstanding(replica: ServingEngine) -> int:
+        """Load proxy: requests on the replica (waiting + running)."""
+        return len(replica.waiting) + len(replica.running)
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas regardless of load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, replicas: Sequence[ServingEngine]) -> int:
+        choice = self._next % len(replicas)
+        self._next = (self._next + 1) % len(replicas)
+        return choice
+
+
+class LeastOutstandingRouter(Router):
+    """Replica with the fewest outstanding requests (ties: lowest index)."""
+
+    name = "least-outstanding"
+
+    def select(self, replicas: Sequence[ServingEngine]) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (self.outstanding(replicas[i]), i))
+
+
+class LeastKVLoadRouter(Router):
+    """Replica with the most KV memory still claimable by new work
+    (free pool net of queued demand — METIS' scheduling signal), ties
+    broken by fewest outstanding requests then lowest index."""
+
+    name = "least-kv-load"
+
+    def select(self, replicas: Sequence[ServingEngine]) -> int:
+        return min(
+            range(len(replicas)),
+            key=lambda i: (-replicas[i].available_kv_bytes(),
+                           self.outstanding(replicas[i]), i),
+        )
+
+
+class PowerOfTwoRouter(Router):
+    """Power-of-two-choices: sample two distinct replicas from a named
+    rng stream, place on the less loaded one (classic Mitzenmacher
+    load balancing — near-best balance at O(1) probe cost)."""
+
+    name = "power-of-two"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = stream(seed, "cluster", "router", "p2c")
+
+    def select(self, replicas: Sequence[ServingEngine]) -> int:
+        n = len(replicas)
+        if n == 1:
+            return 0
+        i, j = sorted(int(x) for x in
+                      self._rng.choice(n, size=2, replace=False))
+        if self.outstanding(replicas[j]) < self.outstanding(replicas[i]):
+            return j
+        return i
+
+
+_ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingRouter.name: LeastOutstandingRouter,
+    LeastKVLoadRouter.name: LeastKVLoadRouter,
+    PowerOfTwoRouter.name: PowerOfTwoRouter,
+}
+
+#: Router names accepted by :func:`make_router` (and the CLI).
+ROUTER_NAMES: tuple[str, ...] = tuple(sorted(_ROUTERS))
+
+
+def make_router(name: str, seed: int = 0) -> Router:
+    """Instantiate a router by name (see :data:`ROUTER_NAMES`)."""
+    try:
+        cls = _ROUTERS[name]
+    except KeyError:
+        known = ", ".join(ROUTER_NAMES)
+        raise ValueError(f"unknown router {name!r}; known: {known}") from None
+    if cls is PowerOfTwoRouter:
+        return PowerOfTwoRouter(seed=seed)
+    return cls()
+
+
+# ----------------------------------------------------------------------
+# Cluster
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterStepInfo:
+    """One cluster iteration: which replica stepped and what it did."""
+
+    replica_id: int
+    info: StepInfo
+
+    @property
+    def end(self) -> float:
+        return self.info.end
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """Instantaneous per-replica load figures (for reports/routers)."""
+
+    replica_id: int
+    now: float
+    queue_depth: int
+    running: int
+    kv_utilization: float
+    free_kv_bytes: float
+    available_kv_bytes: float
+    stats: EngineStats
+
+
+class ClusterEngine:
+    """N independent serving replicas stepped in lockstep.
+
+    Exposes the same driving surface as :class:`ServingEngine`
+    (``now`` / ``has_work`` / ``advance_to`` / ``submit`` / ``step`` /
+    ``run_until_idle`` / ``stats``), so the experiment runner's event
+    loop drives either interchangeably.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        n_replicas: int = 1,
+        router: str | Router = "least-kv-load",
+        seed: int = 0,
+    ) -> None:
+        check_positive("n_replicas", n_replicas)
+        self.config = config
+        self.replicas = [ServingEngine(config) for _ in range(int(n_replicas))]
+        self.router = (make_router(router, seed=seed)
+                       if isinstance(router, str) else router)
+        self._pins: dict[str, int] = {}
+        self._assignments: dict[int, int] = {}  # request_id -> replica
+
+    # ------------------------------------------------------------------
+    # Introspection (mirrors ServingEngine where meaningful)
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def model(self):
+        return self.replicas[0].model
+
+    @property
+    def memory(self):
+        return self.replicas[0].memory
+
+    @property
+    def cost(self):
+        return self.replicas[0].cost
+
+    @property
+    def cluster(self):
+        """The (per-replica) GPU cluster spec, for cost accounting."""
+        return self.replicas[0].cluster
+
+    @property
+    def now(self) -> float:
+        """The shared lockstep clock.
+
+        While any replica is busy this is the *earliest* busy replica
+        clock (the simulation frontier that must advance next); when
+        the cluster is idle it is the latest time any replica reached.
+        """
+        busy = [r.now for r in self.replicas if r.has_work()]
+        if busy:
+            return min(busy)
+        return max(r.now for r in self.replicas)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Cluster-aggregate counters (peak KV is the max over replicas)."""
+        agg = EngineStats()
+        for r in self.replicas:
+            agg.iterations += r.stats.iterations
+            agg.busy_seconds += r.stats.busy_seconds
+            agg.prefill_tokens += r.stats.prefill_tokens
+            agg.decode_tokens += r.stats.decode_tokens
+            agg.requests_finished += r.stats.requests_finished
+            agg.admission_stalls += r.stats.admission_stalls
+            agg.peak_kv_utilization = max(agg.peak_kv_utilization,
+                                          r.stats.peak_kv_utilization)
+        return agg
+
+    def has_work(self) -> bool:
+        return any(r.has_work() for r in self.replicas)
+
+    def total_free_kv_bytes(self) -> float:
+        return sum(r.free_kv_bytes() for r in self.replicas)
+
+    def snapshots(self) -> tuple[ReplicaSnapshot, ...]:
+        return tuple(
+            ReplicaSnapshot(
+                replica_id=i,
+                now=r.now,
+                queue_depth=len(r.waiting),
+                running=len(r.running),
+                kv_utilization=r.blocks.utilization(),
+                free_kv_bytes=r.free_kv_bytes(),
+                available_kv_bytes=r.available_kv_bytes(),
+                stats=r.stats,
+            )
+            for i, r in enumerate(self.replicas)
+        )
+
+    # ------------------------------------------------------------------
+    # Routing / placement
+    # ------------------------------------------------------------------
+    def assign_app(self, app_id: str) -> int:
+        """Route an app to a replica (sticky: later calls reuse the pin)."""
+        if not app_id:
+            raise ValueError("assign_app requires a non-empty app_id")
+        rid = self._pins.get(app_id)
+        if rid is None:
+            rid = self._checked_select()
+            self._pins[app_id] = rid
+        return rid
+
+    def pin_app(self, app_id: str, replica_id: int) -> None:
+        """Force an app onto a replica (controller re-placement)."""
+        if not 0 <= replica_id < self.n_replicas:
+            raise ValueError(
+                f"replica_id must be in [0, {self.n_replicas}), got {replica_id}"
+            )
+        self._pins[app_id] = replica_id
+
+    def replica_of_app(self, app_id: str) -> int | None:
+        return self._pins.get(app_id)
+
+    def release_app(self, app_id: str) -> None:
+        """Drop an app's pin once its calls have drained (bounds state)."""
+        self._pins.pop(app_id, None)
+
+    def replica_of_request(self, request_id: int) -> int | None:
+        """Placement of an in-flight request (None once it finishes —
+        completed entries are pruned to bound tracking state)."""
+        return self._assignments.get(request_id)
+
+    def _checked_select(self) -> int:
+        rid = self.router.select(self.replicas)
+        if not 0 <= rid < self.n_replicas:
+            raise RuntimeError(
+                f"router {self.router.name!r} returned replica {rid}; "
+                f"cluster has {self.n_replicas}"
+            )
+        return rid
+
+    # ------------------------------------------------------------------
+    # Driving surface
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> InferenceRequest:
+        """Route and queue a request (sticky per ``app_id``)."""
+        if request.app_id:
+            rid = self.assign_app(request.app_id)
+        else:
+            rid = self._checked_select()
+        submitted = self.replicas[rid].submit(request)
+        self._assignments[request.request_id] = rid
+        return submitted
+
+    def advance_to(self, t: float) -> None:
+        """Move every replica's clock forward to ``t`` (never backward)."""
+        for r in self.replicas:
+            r.advance_to(t)
+
+    def step(self) -> ClusterStepInfo:
+        """Advance the lagging busy replica by one engine iteration."""
+        busy = [i for i, r in enumerate(self.replicas) if r.has_work()]
+        if not busy:
+            raise RuntimeError("step() called on an idle cluster")
+        rid = min(busy, key=lambda i: (self.replicas[i].now, i))
+        info = self.replicas[rid].step()
+        for finished in info.finished:
+            self._assignments.pop(finished.request_id, None)
+        return ClusterStepInfo(replica_id=rid, info=info)
+
+    def run_until_idle(self, max_iterations: int = 1_000_000) -> int:
+        """Step until every replica drains; returns total iterations."""
+        n = 0
+        while self.has_work():
+            self.step()
+            n += 1
+            if n >= max_iterations:
+                raise RuntimeError(
+                    f"cluster did not drain within {max_iterations} iterations"
+                )
+        return n

@@ -14,6 +14,15 @@ but tractable (documented in DESIGN.md):
   therefore slightly conservative, which *under*-states METIS' benefit.
 * The final prefill chunk also yields the first output token (as in
   chunked-prefill vLLM).
+* Multi-replica serving (``repro.serving.cluster``) steps replicas in
+  lockstep on a shared clock instead of running per-replica threads;
+  replicas never share KV memory or migrate sequences, and a request
+  is routed exactly once at submission (no work stealing). Real
+  deployments rebalance mid-flight; lockstep keeps traces
+  deterministic and replica-count comparisons exact.
+* Cross-replica placement is per *app* (all LLM calls of one RAG query
+  stay on one replica), matching the co-location a Parrot-style
+  gateway would enforce, rather than per-call scatter.
 """
 
 from __future__ import annotations

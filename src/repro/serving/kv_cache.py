@@ -92,6 +92,16 @@ class BlockManager:
     def allocation_of(self, seq_id: int) -> Allocation | None:
         return self._allocations.get(seq_id)
 
+    @property
+    def seq_ids(self) -> frozenset[int]:
+        """Sequence ids currently holding an allocation."""
+        return frozenset(self._allocations)
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Blocks accounted to live allocations (invariant: == used)."""
+        return sum(a.n_blocks for a in self._allocations.values())
+
     # ------------------------------------------------------------------
     def utilization(self) -> float:
         """Fraction of blocks in use."""

@@ -1,4 +1,12 @@
-"""Shared fixtures: small cached datasets and engine configs."""
+"""Shared fixtures (small cached datasets, engine configs) and the
+tier-1/tier-2 marker split.
+
+``python -m pytest -x -q`` runs everything (tier-1 contract); passing
+``--fast`` deselects tests marked ``tier2`` (heavy property/sweep
+tests) and ``slow`` (end-to-end experiment smoke), leaving a quick
+inner-loop suite. New expensive tests should carry one of those marks
+so the default suite's wall time stays bounded.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,22 @@ from repro.data import build_dataset
 from repro.llm import A40, ClusterSpec, MISTRAL_7B_AWQ
 from repro.serving.engine import EngineConfig
 from repro.util.units import GB
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fast", action="store_true", default=False,
+        help="skip tier-2 tests (marked 'tier2' or 'slow')",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--fast"):
+        return
+    skip = pytest.mark.skip(reason="tier-2 test (deselected by --fast)")
+    for item in items:
+        if "tier2" in item.keywords or "slow" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

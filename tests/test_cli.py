@@ -61,6 +61,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean_delay_s" in out
 
+    def test_run_command_with_replicas(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "12", "--rate", "8.0",
+            "--replicas", "2", "--router", "round-robin",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 replicas, round-robin router" in out
+        assert "Per-replica serving stats" in out
+
+    def test_parser_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([
+                "run", "--dataset", "squad", "--policy", "metis",
+                "--replicas", "2", "--router", "coin-flip",
+            ])
+
     def test_run_command_metis_sequential(self, capsys):
         code = main([
             "run", "--dataset", "squad", "--policy", "metis",

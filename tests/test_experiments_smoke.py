@@ -55,6 +55,22 @@ def test_fig16_fast():
     assert len(report.rows) == 5  # fixed + 4 incremental steps
 
 
+@pytest.mark.tier2
+def test_fig11_replica_sweep_fast():
+    """Acceptance bar: the sweep's fixed-work system scales aggregate
+    throughput >= 1.8x from 1 -> 2 replicas under saturating load."""
+    from repro.experiments import fig11_throughput
+
+    report = fig11_throughput.run_replica_sweep(fast=True, replicas=(1, 2))
+    tp = {(r["system"], r["replicas"]): r["throughput_qps"]
+          for r in report.rows}
+    ratio = tp[("vLLM(fixed)", 2)] / tp[("vLLM(fixed)", 1)]
+    assert ratio >= 1.8, f"1->2 replica throughput scaling only {ratio:.2f}x"
+    # METIS trades some of the scaling for quality; it must still gain.
+    assert tp[("METIS", 2)] > tp[("METIS", 1)]
+    assert any("1→2 replicas" in note for note in report.notes)
+
+
 @pytest.mark.slow
 def test_fig19_fast():
     report = fig19_lowload.run(fast=True)

@@ -1,10 +1,12 @@
 """Unit tests for the joint configuration/scheduling best-fit (§4.3)."""
 
+import dataclasses
+
 import pytest
 
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.config.space import PrunedSpace
-from repro.core.policy import SchedulingView
+from repro.core.policy import ClusterSchedulingView, SchedulingView
 from repro.core.scheduler import JointScheduler
 from repro.synthesis import make_synthesizer
 
@@ -105,6 +107,62 @@ class TestFallback:
         decision = scheduler.choose(space(chunks=(2, 4)),
                                     make_view(1_000_000))
         assert decision.config.num_chunks <= 4
+
+
+class TestFallbackDiagnostics:
+    def test_zero_fitting_candidates_reports_zero(self):
+        decision = scheduler.choose(space(), make_view(0))
+        assert decision.fell_back
+        assert decision.n_fitting == 0
+        assert decision.n_candidates == 5
+
+    def test_fallback_plan_matches_fallback_config(self):
+        view = make_view(0)
+        decision = scheduler.choose(space(), view)
+        estimated = view.estimate_plan(decision.config)
+        assert decision.plan.cost_tokens == estimated.cost_tokens
+
+    def test_unit_fit_counts_toward_fitting(self):
+        """The Fig 8 pass is not a fallback and reports its fits."""
+        both = space(methods=(SynthesisMethod.STUFF,
+                              SynthesisMethod.MAP_REDUCE),
+                     chunks=(4, 6))
+        decision = scheduler.choose(both, make_view(900))
+        assert not decision.fell_back
+        assert decision.n_fitting >= 1
+
+    def test_fallback_keeps_both_bounds(self):
+        decision = scheduler.choose(space(chunks=(3, 9)), make_view(0))
+        assert 3 <= decision.config.num_chunks <= 9
+
+
+def cluster_view(per_replica_tokens, routed: int) -> ClusterSchedulingView:
+    base = make_view(per_replica_tokens[routed])
+    avail = tuple(t * KV_BYTES for t in per_replica_tokens)
+    return ClusterSchedulingView(
+        **{f.name: getattr(base, f.name)
+           for f in dataclasses.fields(SchedulingView)},
+        replica_id=routed,
+        replica_free_kv_bytes=avail,
+        replica_available_kv_bytes=avail,
+    )
+
+
+class TestPerReplicaPruning:
+    def test_prunes_against_routed_replica_not_cluster_total(self):
+        """A starved routed replica throttles num_chunks even when a
+        sibling replica (and thus the cluster aggregate) has plenty."""
+        view = cluster_view((2_100, 1_000_000), routed=0)
+        clustered = scheduler.choose(space(), view)
+        plain = scheduler.choose(space(), make_view(2_100))
+        assert clustered.config == plain.config
+        assert clustered.config.num_chunks < 6
+
+    def test_routed_replica_with_memory_is_unthrottled(self):
+        view = cluster_view((1_000_000, 2_100), routed=0)
+        decision = scheduler.choose(space(), view)
+        assert decision.config.num_chunks == 6
+        assert not decision.fell_back
 
 
 class TestBuffer:
