@@ -5,16 +5,11 @@ JSON artifact (``benchmarks/artifacts/fig11_replica_sweep.json``) so
 scaling regressions are diffable across runs.
 """
 
-import json
-from pathlib import Path
-
 import pytest
 
 from repro.experiments import fig11_throughput
 
-from conftest import run_experiment
-
-ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+from conftest import run_experiment, write_artifact
 
 
 @pytest.mark.benchmark(group="fig11_throughput")
@@ -32,10 +27,8 @@ def test_fig11_replica_sweep(benchmark, bench_fast):
     print(report.format())
     assert report.rows, "replica sweep produced no rows"
 
-    ARTIFACT_DIR.mkdir(exist_ok=True)
-    artifact = ARTIFACT_DIR / "fig11_replica_sweep.json"
-    artifact.write_text(json.dumps(
+    artifact = write_artifact(
+        "fig11_replica_sweep.json",
         {"name": report.name, "rows": report.rows, "notes": report.notes},
-        indent=2, sort_keys=True,
-    ))
+    )
     print(f"\nartifact: {artifact}")

@@ -1,8 +1,11 @@
 """Micro-benchmarks of the substrates themselves.
 
 These time the hot paths a downstream user would care about when
-scaling the simulator up: vector search, embedding, engine iterations,
-KV-block accounting, profiling, and quality evaluation.
+scaling the simulator up: the discrete-event kernel, vector search,
+embedding, engine iterations, KV-block accounting, profiling, and
+quality evaluation. The kernel benchmark additionally writes an
+events/sec JSON artifact (``benchmarks/artifacts/sim_kernel_micro.json``)
+so kernel-throughput regressions are diffable across runs.
 """
 
 import numpy as np
@@ -17,7 +20,10 @@ from repro.retrieval.index import FlatL2Index
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.kv_cache import BlockManager
 from repro.serving.request import InferenceRequest
+from repro.sim import EventLoop, Resource
 from repro.util.units import GB
+
+from conftest import write_artifact
 
 
 @pytest.fixture(scope="module")
@@ -74,6 +80,38 @@ def test_kv_block_alloc_free_cycle(benchmark):
             bm.free(seq)
 
     benchmark(cycle)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_sim_kernel_dispatch_throughput(benchmark):
+    """Events/sec through the discrete-event kernel (pre-scheduled
+    events plus resource-mediated completions), with a JSON artifact."""
+    N_ROOT = 20_000
+
+    def drain() -> int:
+        loop = EventLoop()
+        resource = Resource("bench", loop, concurrency=8)
+
+        def on_arrival(t, i):
+            resource.request(t, 0.001, lambda now, waited: None)
+
+        for i in range(N_ROOT):
+            loop.schedule(i * 0.0005, "arrival", on_arrival, i)
+        loop.run()
+        return loop.n_dispatched
+
+    dispatched = benchmark(drain)
+    assert dispatched == 2 * N_ROOT  # arrivals + resource completions
+
+    mean_s = benchmark.stats.stats.mean
+    events_per_sec = dispatched / mean_s if mean_s > 0 else 0.0
+    artifact = write_artifact("sim_kernel_micro.json", {
+        "benchmark": "sim_kernel_dispatch_throughput",
+        "events_per_run": dispatched,
+        "mean_seconds": mean_s,
+        "events_per_sec": events_per_sec,
+    })
+    print(f"\nkernel: {events_per_sec:,.0f} events/sec -> {artifact}")
 
 
 @pytest.mark.benchmark(group="micro")

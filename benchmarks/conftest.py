@@ -8,12 +8,24 @@ paper-comparable form. Set ``REPRO_BENCH_FAST=1`` to shrink workloads
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 
 FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def write_artifact(name: str, payload: dict) -> Path:
+    """Write one benchmark's JSON artifact (diffable across runs)."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 @pytest.fixture(scope="session")

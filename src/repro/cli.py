@@ -22,7 +22,11 @@ import sys
 from repro.baselines import FixedConfigPolicy, ParrotPolicy
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.data import DATASET_NAMES, build_dataset
-from repro.evaluation.reports import format_table, per_replica_rows
+from repro.evaluation.reports import (
+    format_table,
+    per_replica_rows,
+    resource_rows,
+)
 from repro.serving.cluster import ROUTER_NAMES
 
 __all__ = ["main", "parse_config_label", "build_policy"]
@@ -32,7 +36,8 @@ _EXPERIMENTS = (
     "fig10_delay", "fig11_throughput", "fig11_replicas",
     "fig12_breakdown", "fig13_cost",
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
-    "fig17_profiler_llm", "fig18_overhead", "fig19_lowload",
+    "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
+    "fig19_lowload",
 )
 
 
@@ -93,6 +98,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rate_qps=args.rate, seed=args.seed,
         sequential=args.sequential,
         n_replicas=args.replicas, router=args.router,
+        profiler_concurrency=args.profiler_concurrency,
+        retrieval_concurrency=args.retrieval_concurrency,
+        closed_loop_clients=args.closed_loop_clients,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
@@ -103,6 +111,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(format_table(per_replica_rows(result),
                            title="Per-replica serving stats"))
+    if (args.profiler_concurrency is not None
+            or args.retrieval_concurrency is not None):
+        print()
+        print(format_table(resource_rows(result),
+                           title="Pipeline resource contention"))
     return 0
 
 
@@ -150,6 +163,15 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--queries", type=int, default=100)
     run.add_argument("--sequential", action="store_true",
                      help="closed-loop workload (Fig 19 mode)")
+    run.add_argument("--closed-loop-clients", type=int, default=1,
+                     help="outstanding queries in closed-loop mode "
+                          "(with --sequential; default 1)")
+    run.add_argument("--profiler-concurrency", type=int, default=None,
+                     help="max in-flight profiler calls (models API "
+                          "rate limits; default unbounded)")
+    run.add_argument("--retrieval-concurrency", type=int, default=None,
+                     help="max in-flight vector-store searches "
+                          "(default unbounded)")
     run.add_argument("--replicas", type=int, default=1,
                      help="number of serving-engine replicas (default 1)")
     run.add_argument("--router", choices=ROUTER_NAMES,

@@ -1,0 +1,487 @@
+"""The staged query pipeline: how one RAG query flows through the system.
+
+Each query traverses five explicit stages on the shared
+:class:`~repro.sim.kernel.EventLoop`::
+
+    ProfileStage -> DecideStage -> RetrieveStage -> SynthesizeStage -> ServeStage
+
+* :class:`ProfileStage` — the policy's arrival-time work (the METIS
+  profiler LLM call, if any). The profiler is a
+  :class:`~repro.sim.resource.Resource` with configurable concurrency
+  modeling API rate limits: under load, queries *queue* for a profiler
+  slot, which makes Fig 18's overhead load-dependent instead of a
+  constant.
+* :class:`DecideStage` — configuration choice against a scheduling
+  view of the (cluster) engine, including cluster-aware re-placement.
+* :class:`RetrieveStage` — vector-store search behind a second
+  ``Resource`` (finite search executors + per-search latency), so
+  retrieval-bound workloads are expressible.
+* :class:`SynthesizeStage` — prompt building: clip chunks to the
+  context budget and expand the config into a synthesis plan.
+* :class:`ServeStage` — submit the plan's LLM calls stage by stage to
+  the serving engine; completion closes the loop (records, feedback,
+  closed-loop re-arrival).
+
+Determinism contract: with both resources unbounded (the default) the
+event schedule is *byte-identical* to the pre-``repro.sim`` runner —
+the profiler/retrieval completion events land at exactly the
+timestamps and tie-break ranks the old ``heapq`` closures produced.
+This was verified against the pre-refactor implementation by full-run
+SHA fingerprints, and a fingerprint generated from that verified
+schedule is committed as a regression anchor
+(``tests/golden/pipeline_golden.json``, pinned by
+``tests/test_pipeline.py::TestGoldenFingerprint``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.core.policy import (
+    ClusterSchedulingView,
+    Decision,
+    PrepResult,
+    RAGPolicy,
+    SchedulingView,
+)
+from repro.data.types import DatasetBundle, Query
+from repro.data.workload import Arrival
+from repro.evaluation.costs import CostLedger
+from repro.llm.generation import SimulatedGenerator
+from repro.serving.cluster import ClusterEngine
+from repro.serving.engine import ServingEngine
+from repro.serving.request import InferenceRequest
+from repro.sim import EventLoop, Resource, ResourceStats
+from repro.synthesis import make_synthesizer
+from repro.synthesis.plans import SynthesisPlan
+from repro.util.validation import check_positive
+
+__all__ = [
+    "PROFILER_RESOURCE",
+    "RETRIEVAL_RESOURCE",
+    "QueryExecution",
+    "QueryPipeline",
+    "QueryRecord",
+    "validate_arrivals",
+]
+
+#: Resource names as they appear in ``RunResult.resource_stats``.
+PROFILER_RESOURCE = "profiler"
+RETRIEVAL_RESOURCE = "retrieval"
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Everything measured for one served query (the pipeline's output)."""
+
+    query_id: str
+    policy: str
+    dataset: str
+    arrival_time: float
+    decision_time: float
+    finish_time: float
+    config: RAGConfig
+    f1: float
+    expected_f1: float
+    coverage: float
+    profiler_seconds: float
+    profiler_dollars: float
+    n_chunks_retrieved: int
+    chunks_clipped: bool
+    fell_back: bool
+    used_recent_spaces: bool
+    confidence: float | None
+    queueing_delay: float
+    prefill_tokens: int
+    output_tokens: int
+    #: Which cluster replica served this query (0 on a bare engine).
+    replica: int = 0
+    #: Seconds spent waiting for a profiler slot (0 when unbounded).
+    profiler_queue_delay: float = 0.0
+    #: Seconds spent waiting for a retrieval slot (0 when unbounded).
+    retrieval_queue_delay: float = 0.0
+
+    @property
+    def e2e_delay(self) -> float:
+        return self.finish_time - self.arrival_time
+
+    @property
+    def profiler_fraction(self) -> float:
+        """Share of end-to-end delay spent in the profiler (Fig 18).
+
+        Includes time queued for a profiler slot: under API rate
+        limits the *wait* is part of the overhead a user observes.
+        """
+        if self.e2e_delay <= 0:
+            return 0.0
+        return (self.profiler_seconds + self.profiler_queue_delay) \
+            / self.e2e_delay
+
+
+@dataclass
+class QueryExecution:
+    """Mutable per-query state as it moves through the stages."""
+
+    query: Query
+    arrival_time: float
+    prep: PrepResult | None = None
+    decision: Decision | None = None
+    decision_time: float = 0.0
+    chunk_ids: list[str] = field(default_factory=list)
+    chunks_clipped: bool = False
+    plan: SynthesisPlan | None = None
+    stage: int = 0
+    stage_remaining: int = 0
+    first_admitted: float | None = None
+    prefill_tokens: int = 0
+    output_tokens: int = 0
+    replica: int = 0
+    profiler_queue_delay: float = 0.0
+    retrieval_queue_delay: float = 0.0
+
+
+def validate_arrivals(arrivals: list[Arrival]) -> bool:
+    """Return True for closed-loop workloads; reject empty and mixed.
+
+    A workload is closed-loop iff *every* arrival time is ``None`` and
+    open-loop iff *none* is — any mixture is rejected with the
+    offending index (the pre-refactor check only inspected the first
+    arrival, silently mis-running e.g. ``[None, 0.5, ...]``).
+    """
+    if not arrivals:
+        raise ValueError("empty workload")
+    closed = arrivals[0].time is None
+    for i, arrival in enumerate(arrivals):
+        if (arrival.time is None) != closed:
+            kind = "closed-loop (time=None)" if closed else \
+                f"open-loop (time={arrivals[0].time})"
+            raise ValueError(
+                "mixed open/closed-loop workload is not supported: "
+                f"arrival 0 is {kind} but arrival {i} has "
+                f"time={arrival.time}"
+            )
+    return closed
+
+
+class _Stage:
+    """Base: a stage holds its pipeline. Stages are wired explicitly
+    (each hands off to the next by name), not iterated polymorphically,
+    so no common ``enter`` signature is imposed here."""
+
+    def __init__(self, pipeline: QueryPipeline) -> None:
+        self.p = pipeline
+
+
+class ProfileStage(_Stage):
+    """Arrival-time policy work, contended on the profiler resource."""
+
+    def enter(self, t: float, query: Query) -> None:
+        ex = QueryExecution(query=query, arrival_time=t)
+        prep = self.p.policy.prepare(query)
+        ex.prep = prep
+        if prep.dollars:
+            self.p.ledger.api_dollars += prep.dollars
+            self.p.ledger.n_api_calls += 1
+        self.p.profiler.request(t, prep.api_seconds,
+                                lambda now, waited: self._done(now, waited, ex))
+
+    def _done(self, now: float, waited: float, ex: QueryExecution) -> None:
+        ex.profiler_queue_delay = waited
+        self.p.decide.enter(now, ex)
+
+
+class DecideStage(_Stage):
+    """Pick a configuration against the engine's scheduling view."""
+
+    def enter(self, t: float, ex: QueryExecution) -> None:
+        p = self.p
+        ex.decision_time = t
+        view = p.make_view(ex.query)
+        ex.decision = p.policy.choose(ex.query, ex.prep, view)
+        if isinstance(p.engine, ClusterEngine):
+            # Cluster-aware policies may re-place the query on a
+            # replica with more claimable memory (fallback rescue).
+            preferred = ex.decision.notes.get("preferred_replica")
+            if preferred is not None:
+                p.engine.pin_app(ex.query.query_id, preferred)
+            pinned = p.engine.replica_of_app(ex.query.query_id)
+            ex.replica = 0 if pinned is None else pinned
+        p.retrieve.enter(t, ex)
+
+
+class RetrieveStage(_Stage):
+    """Vector-store search, contended on the retrieval resource."""
+
+    def enter(self, t: float, ex: QueryExecution) -> None:
+        p = self.p
+        hits = p.bundle.store.search(
+            ex.query.text, ex.decision.config.num_chunks
+        )
+        ex.chunk_ids = [h.chunk.chunk_id for h in hits]
+        p.retrieval.request(
+            t, p.bundle.store.retrieval_latency_s,
+            lambda now, waited: self._done(now, waited, ex),
+        )
+
+    def _done(self, now: float, waited: float, ex: QueryExecution) -> None:
+        ex.retrieval_queue_delay = waited
+        self.p.synthesize.enter(now, ex)
+
+
+class SynthesizeStage(_Stage):
+    """Build the prompt plan: clip chunks, expand the synthesis DAG."""
+
+    def enter(self, t: float, ex: QueryExecution) -> None:
+        p = self.p
+        chunk_tokens = self._clipped_chunk_tokens(ex)
+        synthesizer = p.synthesizer(ex.decision.config)
+        ex.plan = synthesizer.build_plan(
+            query_id=ex.query.query_id,
+            query_tokens=ex.query.n_tokens,
+            chunk_tokens=chunk_tokens,
+            answer_tokens=ex.query.answer_tokens_estimate,
+            config=ex.decision.config,
+        )
+        ex.stage = 0
+        p.serve.submit_stage(ex, t)
+
+    def _clipped_chunk_tokens(self, ex: QueryExecution) -> list[int]:
+        """Clip the retrieved chunk list to the model's context budget.
+
+        ``stuff`` concatenates everything into one prompt; a fixed
+        config with many large chunks can exceed the context window (or
+        the KV pool), in which case trailing chunks are dropped — what
+        a production stack's prompt builder does.
+        """
+        engine = self.p.engine
+        chunks = [self.p.bundle.store.get(cid) for cid in ex.chunk_ids]
+        tokens = [c.n_tokens for c in chunks]
+        if ex.decision.config.synthesis_method is SynthesisMethod.STUFF:
+            # Slack covers the prompt template wrapper (instruction +
+            # per-chunk separators) plus a safety margin.
+            wrapper_slack = 64 + 8 * len(tokens)
+            budget = min(
+                engine.model.max_context,
+                engine.memory.kv_pool_tokens,
+            ) - ex.query.n_tokens - ex.query.answer_tokens_estimate - wrapper_slack
+            while tokens and sum(tokens) > budget:
+                tokens.pop()
+                ex.chunk_ids.pop()
+                ex.chunks_clipped = True
+        if not tokens:
+            raise RuntimeError(
+                f"no chunks usable for {ex.query.query_id}: context budget "
+                "too small for even one chunk"
+            )
+        return tokens
+
+
+class ServeStage(_Stage):
+    """Drive the plan's LLM calls through the serving engine."""
+
+    def submit_stage(self, ex: QueryExecution, t: float) -> None:
+        engine = self.p.engine
+        calls = ex.plan.stage_calls(ex.stage)
+        ex.stage_remaining = len(calls)
+        for call in calls:
+            request = InferenceRequest(
+                prompt_tokens=call.prompt_tokens,
+                output_tokens=call.output_tokens,
+                arrival_time=max(t, engine.now),
+                app_id=ex.query.query_id,
+                stage=call.stage,
+                on_finish=lambda req, now, ex=ex: self._on_call_done(
+                    ex, req, now),
+            )
+            engine.submit(request)
+
+    def _on_call_done(self, ex: QueryExecution, request: InferenceRequest,
+                      now: float) -> None:
+        if ex.first_admitted is None or (
+            request.admitted_time is not None
+            and request.admitted_time < ex.first_admitted
+        ):
+            ex.first_admitted = request.admitted_time
+        ex.prefill_tokens += request.prompt_tokens
+        ex.output_tokens += request.output_tokens
+        ex.stage_remaining -= 1
+        if ex.stage_remaining > 0:
+            return
+        if ex.stage + 1 < ex.plan.n_stages:
+            ex.stage += 1
+            self.submit_stage(ex, now)
+            return
+        self.p.finalize(ex, now)
+
+
+class QueryPipeline:
+    """One workload run: stages + contended resources on a shared loop.
+
+    The pipeline owns the per-run mutable state (event loop, resources,
+    ledger, record sink) so that a fresh pipeline is a fresh
+    simulation; the :class:`~repro.evaluation.runner.ExperimentRunner`
+    constructs one per ``run()``.
+    """
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        policy: RAGPolicy,
+        engine: ServingEngine | ClusterEngine,
+        generator: SimulatedGenerator,
+        profiler_concurrency: int | None = None,
+        retrieval_concurrency: int | None = None,
+    ) -> None:
+        self.bundle = bundle
+        self.policy = policy
+        self.engine = engine
+        self.generator = generator
+        self.loop = EventLoop()
+        self.profiler = Resource(PROFILER_RESOURCE, self.loop,
+                                 profiler_concurrency)
+        self.retrieval = Resource(RETRIEVAL_RESOURCE, self.loop,
+                                  retrieval_concurrency)
+        self.ledger = CostLedger()
+        self.records: list[QueryRecord] = []
+        self._synthesizers: dict = {}
+        self._pending_closed: deque[Arrival] = deque()
+        # The stages, wired in traversal order.
+        self.profile = ProfileStage(self)
+        self.decide = DecideStage(self)
+        self.retrieve = RetrieveStage(self)
+        self.synthesize = SynthesizeStage(self)
+        self.serve = ServeStage(self)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, arrivals: list[Arrival],
+            closed_loop_clients: int = 1) -> None:
+        """Seed the workload and run the loop until everything drains."""
+        check_positive("closed_loop_clients", closed_loop_clients)
+        closed = validate_arrivals(arrivals)
+        if closed:
+            seed_n = min(int(closed_loop_clients), len(arrivals))
+            for arrival in arrivals[:seed_n]:
+                self._schedule_arrival(0.0, arrival.query)
+            self._pending_closed = deque(arrivals[seed_n:])
+        else:
+            if closed_loop_clients != 1:
+                raise ValueError(
+                    "closed_loop_clients only applies to closed-loop "
+                    "(sequential) workloads"
+                )
+            for arrival in arrivals:
+                self._schedule_arrival(arrival.time, arrival.query)
+        self.loop.run(substrate=self.engine)
+
+    def _schedule_arrival(self, t: float, query: Query) -> None:
+        self.loop.schedule(t, "arrival", self.profile.enter, query)
+
+    def finalize(self, ex: QueryExecution, now: float) -> None:
+        """Last LLM call done: score, record, and refill the closed loop."""
+        ctx = self.bundle.synthesis_context(ex.query, ex.chunk_ids)
+        answer = self.generator.generate(ctx, ex.decision.config)
+        record = QueryRecord(
+            query_id=ex.query.query_id,
+            policy=self.policy.name,
+            dataset=self.bundle.name,
+            arrival_time=ex.arrival_time,
+            decision_time=ex.decision_time,
+            finish_time=now,
+            config=ex.decision.config,
+            f1=answer.f1,
+            expected_f1=answer.expected_f1,
+            coverage=answer.coverage,
+            profiler_seconds=ex.prep.api_seconds,
+            profiler_dollars=ex.prep.dollars,
+            n_chunks_retrieved=len(ex.chunk_ids),
+            chunks_clipped=ex.chunks_clipped,
+            fell_back=ex.decision.fell_back,
+            used_recent_spaces=ex.decision.used_recent_spaces,
+            confidence=(
+                ex.prep.profile.confidence if ex.prep.profile else None
+            ),
+            queueing_delay=(
+                (ex.first_admitted - ex.arrival_time)
+                if ex.first_admitted is not None
+                else 0.0
+            ),
+            prefill_tokens=ex.prefill_tokens,
+            output_tokens=ex.output_tokens,
+            replica=ex.replica,
+            profiler_queue_delay=ex.profiler_queue_delay,
+            retrieval_queue_delay=ex.retrieval_queue_delay,
+        )
+        self.records.append(record)
+        if isinstance(self.engine, ClusterEngine):
+            self.engine.release_app(ex.query.query_id)
+        self.policy.on_complete(ex.query, answer.f1, record.e2e_delay)
+        if self._pending_closed:
+            nxt = self._pending_closed.popleft()
+            self._schedule_arrival(now, nxt.query)
+
+    # ------------------------------------------------------------------
+    # Helpers shared by stages
+    # ------------------------------------------------------------------
+    def resource_stats(self) -> dict[str, ResourceStats]:
+        return {
+            PROFILER_RESOURCE: self.profiler.stats,
+            RETRIEVAL_RESOURCE: self.retrieval.stats,
+        }
+
+    def synthesizer(self, config: RAGConfig):
+        method = config.synthesis_method
+        if method not in self._synthesizers:
+            self._synthesizers[method] = make_synthesizer(method)
+        return self._synthesizers[method]
+
+    def make_view(self, query: Query) -> SchedulingView:
+        engine = self.engine
+        chunk_tokens = self.bundle.chunk_tokens
+
+        def estimate_plan(config: RAGConfig) -> SynthesisPlan:
+            synthesizer = self.synthesizer(config)
+            return synthesizer.build_plan(
+                query_id=f"{query.query_id}/est",
+                query_tokens=query.n_tokens,
+                chunk_tokens=[chunk_tokens] * config.num_chunks,
+                answer_tokens=query.answer_tokens_estimate,
+                config=config,
+            )
+
+        if isinstance(engine, ClusterEngine):
+            # Route (and pin) the query now so the policy sees the KV
+            # memory of the replica its calls will actually land on.
+            rid = engine.assign_app(query.query_id)
+            target = engine.replicas[rid]
+            return ClusterSchedulingView(
+                now=engine.now,
+                free_kv_bytes=target.free_kv_bytes(),
+                available_kv_bytes=target.available_kv_bytes(),
+                kv_bytes_per_token=target.memory.kv_bytes_per_token,
+                chunk_tokens=chunk_tokens,
+                query_tokens=query.n_tokens,
+                answer_tokens=query.answer_tokens_estimate,
+                estimate_plan=estimate_plan,
+                replica_id=rid,
+                replica_free_kv_bytes=tuple(
+                    r.free_kv_bytes() for r in engine.replicas
+                ),
+                replica_available_kv_bytes=tuple(
+                    r.available_kv_bytes() for r in engine.replicas
+                ),
+            )
+
+        return SchedulingView(
+            now=engine.now,
+            free_kv_bytes=engine.free_kv_bytes(),
+            available_kv_bytes=engine.available_kv_bytes(),
+            kv_bytes_per_token=engine.memory.kv_bytes_per_token,
+            chunk_tokens=chunk_tokens,
+            query_tokens=query.n_tokens,
+            answer_tokens=query.answer_tokens_estimate,
+            estimate_plan=estimate_plan,
+        )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 __all__ = ["format_table", "format_ratio", "Reporter",
-           "per_replica_rows", "cluster_summary"]
+           "per_replica_rows", "cluster_summary", "resource_rows"]
 
 
 def _fmt(value) -> str:
@@ -121,6 +121,33 @@ def cluster_summary(result) -> dict:
         load_imbalance=(max(queries) / mean_load) if mean_load else 0.0,
         busy_seconds=sum(row["busy_seconds"] for row in rows),
     )
+
+
+def resource_rows(result) -> list[dict]:
+    """One row of contention counters per pipeline resource.
+
+    ``result`` is a :class:`~repro.evaluation.runner.RunResult`
+    (duck-typed: needs ``resource_stats`` — a mapping of name to
+    :class:`~repro.sim.resource.ResourceStats` — and ``makespan``).
+    Unbounded resources render ``concurrency`` as ``inf`` with zero
+    utilization; queue-delay columns quantify how long queries waited
+    for a slot (the load-dependent part of Fig 18's overhead).
+    """
+    rows: list[dict] = []
+    for name, stats in result.resource_stats.items():
+        finite = stats.concurrency != float("inf")
+        rows.append(dict(
+            resource=name,
+            concurrency=int(stats.concurrency) if finite else stats.concurrency,
+            requests=stats.n_requests,
+            utilization=stats.utilization(result.makespan),
+            busy_seconds=stats.busy_seconds,
+            queued_fraction=stats.queued_fraction,
+            mean_queue_delay_s=stats.mean_queue_delay,
+            max_queue_delay_s=stats.max_queue_delay,
+            peak_queue_len=stats.peak_queue_len,
+        ))
+    return rows
 
 
 class Reporter:

@@ -1,85 +1,43 @@
 """Workload runner: drives a policy + engine over a dataset workload.
 
-The runner owns the discrete-event loop. Per query:
+The discrete-event mechanics live in :mod:`repro.sim` (kernel) and
+:mod:`repro.evaluation.pipeline` (the staged query pipeline). Per
+query::
 
-``arrival`` —(profiler latency)→ ``decide`` —(retrieval latency)→
-``submit stage 0`` —(engine iterations)→ ... —(last call finishes)→
-quality scoring + record.
+    arrival -> ProfileStage -(profiler resource)-> DecideStage
+            -> RetrieveStage -(retrieval resource)-> SynthesizeStage
+            -> ServeStage -(engine iterations)-> quality scoring + record
 
-Engine iterations and external events (arrivals, profiler completions)
-interleave exactly as in a real serving stack: decisions made while the
-GPU is mid-iteration take effect at the next scheduling boundary.
+Engine iterations and external events (arrivals, profiler/retrieval
+completions) interleave exactly as in a real serving stack: decisions
+made while the GPU is mid-iteration take effect at the next scheduling
+boundary. With the default *unbounded* resources the schedule is
+byte-identical to the pre-``repro.sim`` closure-based runner; finite
+``profiler_concurrency`` / ``retrieval_concurrency`` add FIFO queueing
+(API rate limits, search-executor pools) on top.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable
 
 import numpy as np
 
-from repro.config.knobs import RAGConfig
-from repro.core.policy import (
-    ClusterSchedulingView,
-    Decision,
-    PrepResult,
-    RAGPolicy,
-    SchedulingView,
-)
-from repro.data.types import DatasetBundle, Query
+from repro.core.policy import RAGPolicy
+from repro.data.types import DatasetBundle
 from repro.data.workload import Arrival
 from repro.evaluation.costs import CostLedger
+from repro.evaluation.pipeline import QueryPipeline, QueryRecord
 from repro.llm.generation import SimulatedGenerator
 from repro.llm.quality import QualityModel, QualityParams
 from repro.serving.cluster import ClusterEngine
 from repro.serving.engine import EngineConfig, EngineStats, ServingEngine
-from repro.serving.request import InferenceRequest
+from repro.sim import ResourceStats
 from repro.util.validation import check_positive
-from repro.synthesis import make_synthesizer
-from repro.synthesis.plans import SynthesisPlan
 
+#: ``QueryRecord`` is defined next to the pipeline that emits it and
+#: re-exported here, its historical import location.
 __all__ = ["QueryRecord", "RunResult", "ExperimentRunner"]
-
-
-@dataclass(frozen=True)
-class QueryRecord:
-    """Everything measured for one served query."""
-
-    query_id: str
-    policy: str
-    dataset: str
-    arrival_time: float
-    decision_time: float
-    finish_time: float
-    config: RAGConfig
-    f1: float
-    expected_f1: float
-    coverage: float
-    profiler_seconds: float
-    profiler_dollars: float
-    n_chunks_retrieved: int
-    chunks_clipped: bool
-    fell_back: bool
-    used_recent_spaces: bool
-    confidence: float | None
-    queueing_delay: float
-    prefill_tokens: int
-    output_tokens: int
-    #: Which cluster replica served this query (0 on a bare engine).
-    replica: int = 0
-
-    @property
-    def e2e_delay(self) -> float:
-        return self.finish_time - self.arrival_time
-
-    @property
-    def profiler_fraction(self) -> float:
-        """Share of end-to-end delay spent in the profiler (Fig 18)."""
-        if self.e2e_delay <= 0:
-            return 0.0
-        return self.profiler_seconds / self.e2e_delay
 
 
 @dataclass
@@ -94,6 +52,9 @@ class RunResult:
     ledger: CostLedger
     #: Per-replica engine counters (one entry on a bare engine).
     replica_stats: list[EngineStats] = field(default_factory=list)
+    #: Contended-resource counters keyed by resource name
+    #: (``profiler`` / ``retrieval``).
+    resource_stats: dict[str, ResourceStats] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def _delays(self) -> np.ndarray:
@@ -127,6 +88,12 @@ class RunResult:
         return float(np.mean([r.profiler_fraction for r in self.records]))
 
     @property
+    def mean_profiler_queue_delay(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.profiler_queue_delay for r in self.records]))
+
+    @property
     def total_dollars(self) -> float:
         return self.ledger.total_dollars
 
@@ -142,26 +109,6 @@ class RunResult:
         }
 
 
-@dataclass
-class _Execution:
-    """Mutable per-query state inside the runner."""
-
-    query: Query
-    arrival_time: float
-    prep: PrepResult | None = None
-    decision: Decision | None = None
-    decision_time: float = 0.0
-    chunk_ids: list[str] = field(default_factory=list)
-    chunks_clipped: bool = False
-    plan: SynthesisPlan | None = None
-    stage: int = 0
-    stage_remaining: int = 0
-    first_admitted: float | None = None
-    prefill_tokens: int = 0
-    output_tokens: int = 0
-    replica: int = 0
-
-
 class ExperimentRunner:
     """Runs one policy over one dataset workload on a fresh engine.
 
@@ -170,6 +117,13 @@ class ExperimentRunner:
     behind the named load-aware ``router`` — and each policy decision
     sees a :class:`ClusterSchedulingView` of the replica its query was
     routed to.
+
+    ``profiler_concurrency`` / ``retrieval_concurrency`` bound how many
+    profiler calls / vector-store searches may be in flight at once
+    (``None`` = unbounded, the pre-contention behavior); excess queries
+    wait in FIFO order and the waits surface in
+    :attr:`RunResult.resource_stats` and the per-query
+    ``profiler_queue_delay`` / ``retrieval_queue_delay`` fields.
     """
 
     def __init__(
@@ -180,29 +134,37 @@ class ExperimentRunner:
         quality_params: QualityParams | None = None,
         n_replicas: int = 1,
         router: str = "least-kv-load",
+        profiler_concurrency: int | None = None,
+        retrieval_concurrency: int | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
+        if profiler_concurrency is not None:
+            check_positive("profiler_concurrency", profiler_concurrency)
+        if retrieval_concurrency is not None:
+            check_positive("retrieval_concurrency", retrieval_concurrency)
         self.bundle = bundle
         self.engine_config = engine_config
         self.seed = seed
         self.n_replicas = int(n_replicas)
         self.router = router
+        self.profiler_concurrency = profiler_concurrency
+        self.retrieval_concurrency = retrieval_concurrency
         params = quality_params or bundle.quality_params
         self.generator = SimulatedGenerator(
             quality=QualityModel(params), root_seed=seed
         )
-        self._synthesizers = {}
 
     # ------------------------------------------------------------------
-    def run(self, policy: RAGPolicy, arrivals: list[Arrival]) -> RunResult:
+    def run(self, policy: RAGPolicy, arrivals: list[Arrival],
+            closed_loop_clients: int = 1) -> RunResult:
         """Execute the workload; returns per-query records.
 
         Open-loop arrivals carry explicit times; a workload whose
-        arrival times are ``None`` runs closed-loop (each query is
-        submitted when the previous one completes — Fig 19).
+        arrival times are ``None`` runs closed-loop with
+        ``closed_loop_clients`` outstanding queries (1 reproduces
+        Fig 19's strictly sequential mode: each query is submitted when
+        the previous one completes).
         """
-        if not arrivals:
-            raise ValueError("empty workload")
         config = replace(self.engine_config, policy=policy.engine_policy)
         engine: ServingEngine | ClusterEngine
         if self.n_replicas > 1:
@@ -214,160 +176,17 @@ class ExperimentRunner:
             )
         else:
             engine = ServingEngine(config)
-        ledger = CostLedger()
-        records: list[QueryRecord] = []
-        events: list[tuple[float, int, str, object]] = []
-        tie = itertools.count()
-        closed_loop = arrivals[0].time is None
-        pending_closed = list(arrivals[1:]) if closed_loop else []
+        pipeline = QueryPipeline(
+            bundle=self.bundle,
+            policy=policy,
+            engine=engine,
+            generator=self.generator,
+            profiler_concurrency=self.profiler_concurrency,
+            retrieval_concurrency=self.retrieval_concurrency,
+        )
+        pipeline.run(arrivals, closed_loop_clients=closed_loop_clients)
 
-        def push(t: float, kind: str, payload: object) -> None:
-            heapq.heappush(events, (t, next(tie), kind, payload))
-
-        if closed_loop:
-            push(0.0, "arrival", arrivals[0].query)
-        else:
-            for arrival in arrivals:
-                if arrival.time is None:
-                    raise ValueError(
-                        "mixed open/closed-loop workload is not supported"
-                    )
-                push(arrival.time, "arrival", arrival.query)
-
-        # ------------------------------------------------------------------
-        def handle_arrival(t: float, query: Query) -> None:
-            ex = _Execution(query=query, arrival_time=t)
-            prep = policy.prepare(query)
-            ex.prep = prep
-            if prep.dollars:
-                ledger.api_dollars += prep.dollars
-                ledger.n_api_calls += 1
-            push(t + prep.api_seconds, "decide", ex)
-
-        def handle_decide(t: float, ex: _Execution) -> None:
-            ex.decision_time = t
-            view = self._make_view(engine, ex.query)
-            ex.decision = policy.choose(ex.query, ex.prep, view)
-            if isinstance(engine, ClusterEngine):
-                # Cluster-aware policies may re-place the query on a
-                # replica with more claimable memory (fallback rescue).
-                preferred = ex.decision.notes.get("preferred_replica")
-                if preferred is not None:
-                    engine.pin_app(ex.query.query_id, preferred)
-                pinned = engine.replica_of_app(ex.query.query_id)
-                ex.replica = 0 if pinned is None else pinned
-            hits = self.bundle.store.search(
-                ex.query.text, ex.decision.config.num_chunks
-            )
-            ex.chunk_ids = [h.chunk.chunk_id for h in hits]
-            push(t + self.bundle.store.retrieval_latency_s, "submit", ex)
-
-        def handle_submit(t: float, ex: _Execution) -> None:
-            chunk_tokens = self._clipped_chunk_tokens(ex, engine)
-            synthesizer = self._synthesizer(ex.decision.config)
-            ex.plan = synthesizer.build_plan(
-                query_id=ex.query.query_id,
-                query_tokens=ex.query.n_tokens,
-                chunk_tokens=chunk_tokens,
-                answer_tokens=ex.query.answer_tokens_estimate,
-                config=ex.decision.config,
-            )
-            ex.stage = 0
-            submit_stage(ex, t)
-
-        def submit_stage(ex: _Execution, t: float) -> None:
-            calls = ex.plan.stage_calls(ex.stage)
-            ex.stage_remaining = len(calls)
-            for call in calls:
-                request = InferenceRequest(
-                    prompt_tokens=call.prompt_tokens,
-                    output_tokens=call.output_tokens,
-                    arrival_time=max(t, engine.now),
-                    app_id=ex.query.query_id,
-                    stage=call.stage,
-                    on_finish=lambda req, now, ex=ex: on_call_done(ex, req, now),
-                )
-                engine.submit(request)
-
-        def on_call_done(ex: _Execution, request: InferenceRequest,
-                         now: float) -> None:
-            if ex.first_admitted is None or (
-                request.admitted_time is not None
-                and request.admitted_time < ex.first_admitted
-            ):
-                ex.first_admitted = request.admitted_time
-            ex.prefill_tokens += request.prompt_tokens
-            ex.output_tokens += request.output_tokens
-            ex.stage_remaining -= 1
-            if ex.stage_remaining > 0:
-                return
-            if ex.stage + 1 < ex.plan.n_stages:
-                ex.stage += 1
-                submit_stage(ex, now)
-                return
-            finalize(ex, now)
-
-        def finalize(ex: _Execution, now: float) -> None:
-            ctx = self.bundle.synthesis_context(ex.query, ex.chunk_ids)
-            answer = self.generator.generate(ctx, ex.decision.config)
-            record = QueryRecord(
-                query_id=ex.query.query_id,
-                policy=policy.name,
-                dataset=self.bundle.name,
-                arrival_time=ex.arrival_time,
-                decision_time=ex.decision_time,
-                finish_time=now,
-                config=ex.decision.config,
-                f1=answer.f1,
-                expected_f1=answer.expected_f1,
-                coverage=answer.coverage,
-                profiler_seconds=ex.prep.api_seconds,
-                profiler_dollars=ex.prep.dollars,
-                n_chunks_retrieved=len(ex.chunk_ids),
-                chunks_clipped=ex.chunks_clipped,
-                fell_back=ex.decision.fell_back,
-                used_recent_spaces=ex.decision.used_recent_spaces,
-                confidence=(
-                    ex.prep.profile.confidence if ex.prep.profile else None
-                ),
-                queueing_delay=(
-                    (ex.first_admitted - ex.arrival_time)
-                    if ex.first_admitted is not None
-                    else 0.0
-                ),
-                prefill_tokens=ex.prefill_tokens,
-                output_tokens=ex.output_tokens,
-                replica=ex.replica,
-            )
-            records.append(record)
-            if isinstance(engine, ClusterEngine):
-                engine.release_app(ex.query.query_id)
-            policy.on_complete(ex.query, answer.f1, record.e2e_delay)
-            if pending_closed:
-                nxt = pending_closed.pop(0)
-                push(now, "arrival", nxt.query)
-
-        handlers: dict[str, Callable] = {
-            "arrival": handle_arrival,
-            "decide": handle_decide,
-            "submit": handle_submit,
-        }
-
-        # ------------------------------------------------------------------
-        # Event loop: engine iterations interleaved with external events.
-        # ------------------------------------------------------------------
-        while events or engine.has_work():
-            next_t = events[0][0] if events else float("inf")
-            if engine.has_work() and engine.now < next_t:
-                engine.step()
-                continue
-            if events:
-                t, _, kind, payload = heapq.heappop(events)
-                engine.advance_to(t)
-                handlers[kind](max(t, engine.now), payload)
-                continue
-            break  # no events, engine idle
-
+        ledger = pipeline.ledger
         ledger.charge_gpu(engine.cluster, engine.stats.busy_seconds)
         self._charge_feedback(policy, engine, ledger)
         makespan = engine.now
@@ -378,100 +197,15 @@ class ExperimentRunner:
         return RunResult(
             policy=policy.name,
             dataset=self.bundle.name,
-            records=records,
+            records=pipeline.records,
             makespan=makespan,
             engine_stats=engine.stats,
             ledger=ledger,
             replica_stats=replica_stats,
+            resource_stats=pipeline.resource_stats(),
         )
 
     # ------------------------------------------------------------------
-    def _synthesizer(self, config: RAGConfig):
-        method = config.synthesis_method
-        if method not in self._synthesizers:
-            self._synthesizers[method] = make_synthesizer(method)
-        return self._synthesizers[method]
-
-    def _make_view(self, engine: ServingEngine | ClusterEngine,
-                   query: Query) -> SchedulingView:
-        chunk_tokens = self.bundle.chunk_tokens
-
-        def estimate_plan(config: RAGConfig) -> SynthesisPlan:
-            synthesizer = self._synthesizer(config)
-            return synthesizer.build_plan(
-                query_id=f"{query.query_id}/est",
-                query_tokens=query.n_tokens,
-                chunk_tokens=[chunk_tokens] * config.num_chunks,
-                answer_tokens=query.answer_tokens_estimate,
-                config=config,
-            )
-
-        if isinstance(engine, ClusterEngine):
-            # Route (and pin) the query now so the policy sees the KV
-            # memory of the replica its calls will actually land on.
-            rid = engine.assign_app(query.query_id)
-            target = engine.replicas[rid]
-            return ClusterSchedulingView(
-                now=engine.now,
-                free_kv_bytes=target.free_kv_bytes(),
-                available_kv_bytes=target.available_kv_bytes(),
-                kv_bytes_per_token=target.memory.kv_bytes_per_token,
-                chunk_tokens=chunk_tokens,
-                query_tokens=query.n_tokens,
-                answer_tokens=query.answer_tokens_estimate,
-                estimate_plan=estimate_plan,
-                replica_id=rid,
-                replica_free_kv_bytes=tuple(
-                    r.free_kv_bytes() for r in engine.replicas
-                ),
-                replica_available_kv_bytes=tuple(
-                    r.available_kv_bytes() for r in engine.replicas
-                ),
-            )
-
-        return SchedulingView(
-            now=engine.now,
-            free_kv_bytes=engine.free_kv_bytes(),
-            available_kv_bytes=engine.available_kv_bytes(),
-            kv_bytes_per_token=engine.memory.kv_bytes_per_token,
-            chunk_tokens=chunk_tokens,
-            query_tokens=query.n_tokens,
-            answer_tokens=query.answer_tokens_estimate,
-            estimate_plan=estimate_plan,
-        )
-
-    def _clipped_chunk_tokens(self, ex: _Execution,
-                              engine: ServingEngine | ClusterEngine) -> list[int]:
-        """Clip the retrieved chunk list to the model's context budget.
-
-        ``stuff`` concatenates everything into one prompt; a fixed
-        config with many large chunks can exceed the context window (or
-        the KV pool), in which case trailing chunks are dropped — what
-        a production stack's prompt builder does.
-        """
-        from repro.config.knobs import SynthesisMethod
-
-        chunks = [self.bundle.store.get(cid) for cid in ex.chunk_ids]
-        tokens = [c.n_tokens for c in chunks]
-        if ex.decision.config.synthesis_method is SynthesisMethod.STUFF:
-            # Slack covers the prompt template wrapper (instruction +
-            # per-chunk separators) plus a safety margin.
-            wrapper_slack = 64 + 8 * len(tokens)
-            budget = min(
-                engine.model.max_context,
-                engine.memory.kv_pool_tokens,
-            ) - ex.query.n_tokens - ex.query.answer_tokens_estimate - wrapper_slack
-            while tokens and sum(tokens) > budget:
-                tokens.pop()
-                ex.chunk_ids.pop()
-                ex.chunks_clipped = True
-        if not tokens:
-            raise RuntimeError(
-                f"no chunks usable for {ex.query.query_id}: context budget "
-                "too small for even one chunk"
-            )
-        return tokens
-
     def _charge_feedback(self, policy: RAGPolicy,
                          engine: ServingEngine | ClusterEngine,
                          ledger: CostLedger) -> None:

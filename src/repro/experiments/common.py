@@ -185,12 +185,19 @@ def run_policy(
     sequential: bool = False,
     n_replicas: int = 1,
     router: str = "least-kv-load",
+    profiler_concurrency: int | None = None,
+    retrieval_concurrency: int | None = None,
+    closed_loop_clients: int = 1,
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
     ``n_replicas > 1`` serves the workload on a replicated cluster
     behind the named load-aware ``router`` (see
-    :mod:`repro.serving.cluster`).
+    :mod:`repro.serving.cluster`). Finite ``profiler_concurrency`` /
+    ``retrieval_concurrency`` make the profiler API and the vector
+    store contended FIFO resources (see :mod:`repro.sim`);
+    ``closed_loop_clients`` sets how many queries a ``sequential``
+    workload keeps outstanding.
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     if sequential:
@@ -205,8 +212,10 @@ def run_policy(
         quality_params=quality_params,
         n_replicas=n_replicas,
         router=router,
+        profiler_concurrency=profiler_concurrency,
+        retrieval_concurrency=retrieval_concurrency,
     )
-    return runner.run(policy, arrivals)
+    return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 
 
 def run_fixed_grid(

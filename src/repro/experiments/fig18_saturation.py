@@ -1,0 +1,11 @@
+"""Fig 18 (contention variant): profiler overhead vs offered load.
+
+Thin CLI-facing alias so ``python -m repro experiment fig18_saturation``
+runs the load sweep defined next to the original Fig 18 driver.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig18_overhead import run_load_sweep as run
+
+__all__ = ["run"]

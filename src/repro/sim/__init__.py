@@ -1,0 +1,19 @@
+"""``repro.sim``: the deterministic discrete-event simulation kernel.
+
+Extracted from the experiment runner so every workload driver (the
+query pipeline, the cluster harness, future async/sharded engines)
+shares one clock, one event-ordering rule, and one resource-contention
+model. See ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.sim.kernel import Clock, Event, EventLoop, Steppable
+from repro.sim.resource import Resource, ResourceStats
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventLoop",
+    "Resource",
+    "ResourceStats",
+    "Steppable",
+]

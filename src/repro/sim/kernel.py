@@ -1,0 +1,193 @@
+"""Deterministic discrete-event kernel: clock, typed events, event loop.
+
+This is the substrate every workload driver in the repo shares. Three
+properties are load-bearing and pinned by ``tests/test_sim_kernel.py``:
+
+* **Stable tie-breaking** — events scheduled for the same simulated
+  time dispatch in scheduling (insertion) order, via a monotonic
+  sequence counter. No heap-order nondeterminism ever leaks into a
+  trace.
+* **Determinism** — the kernel holds no RNG and no wall-clock state;
+  replaying the same schedule calls produces the same dispatch
+  sequence, byte for byte.
+* **Substrate interleaving** — :meth:`EventLoop.run` can co-simulate a
+  *steppable substrate* (anything with ``now`` / ``has_work()`` /
+  ``step()`` / ``advance_to(t)``, e.g. a
+  :class:`~repro.serving.engine.ServingEngine` or
+  :class:`~repro.serving.cluster.ClusterEngine`): the substrate steps
+  while its clock trails the next event, exactly as a real serving
+  stack interleaves GPU iterations with external arrivals. A substrate
+  iteration may overshoot an event's timestamp, in which case the
+  handler observes the (later) substrate clock — the kernel never
+  rewinds time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+__all__ = ["Clock", "Event", "EventLoop", "Steppable"]
+
+EventHandler = Callable[[float, Any], None]
+
+
+class Clock:
+    """Monotonic simulated clock (seconds since run start)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance_to(self, t: float) -> None:
+        """Move forward to ``t``; moving backwards is a silent no-op."""
+        if t > self.now:
+            self.now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self.now:.6f})"
+
+
+class Steppable(Protocol):
+    """A co-simulated substrate the event loop can interleave with."""
+
+    now: float
+
+    def has_work(self) -> bool: ...
+
+    def step(self) -> object: ...
+
+    def advance_to(self, t: float) -> None: ...
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``seq`` is the kernel-assigned insertion index: the heap orders by
+    ``(time, seq)``, so equal-time events pop in scheduling order.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    handler: EventHandler = field(repr=False)
+    payload: Any = None
+
+
+class EventLoop:
+    """Priority-queue event loop with stable FIFO tie-breaking.
+
+    The loop can be driven two ways:
+
+    * :meth:`run` — dispatch everything (optionally interleaving a
+      :class:`Steppable` substrate) until both are idle.
+    * :meth:`peek_time` / :meth:`pop` / :meth:`dispatch` — manual
+      control for callers that own their own outer loop.
+
+    Handlers may schedule further events; cancellation is intentionally
+    absent (traces stay replayable).
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or Clock()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.n_scheduled = 0
+        self.n_dispatched = 0
+
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, kind: str, handler: EventHandler,
+                 payload: Any = None) -> Event:
+        """Enqueue ``handler(t, payload)`` at simulated ``time``.
+
+        ``time`` may trail the loop clock: a co-simulated substrate's
+        observable clock is not monotone (a cluster's frontier is the
+        *minimum* over busy replica clocks, which regresses when work
+        lands on a lagging replica), so callbacks legitimately schedule
+        at timestamps earlier than the last dispatch. Such events keep
+        their raw time for heap ordering; at dispatch their handler
+        observes ``max(event.time, substrate.now)`` when a substrate is
+        interleaved, but the *raw* event time in substrate-free mode
+        (only ``clock.now`` itself never rewinds).
+        """
+        event = Event(time=time, seq=next(self._seq), kind=kind,
+                      handler=handler, payload=payload)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self.n_scheduled += 1
+        return event
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event (``inf`` when empty)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def pop(self) -> Event:
+        """Remove and return the next event (does not touch the clock)."""
+        if not self._heap:
+            raise IndexError("pop() on an empty event loop")
+        return heapq.heappop(self._heap)[2]
+
+    def dispatch(self, event: Event, at: float | None = None) -> None:
+        """Advance the clock and invoke the handler.
+
+        ``at`` overrides the observed time (used when a co-simulated
+        substrate overshot the event's timestamp); it must not precede
+        the event's own time.
+        """
+        t = event.time if at is None else max(event.time, at)
+        self.clock.advance_to(t)
+        self.n_dispatched += 1
+        event.handler(t, event.payload)
+
+    # ------------------------------------------------------------------
+    def run(self, substrate: Steppable | None = None,
+            max_steps: int = 50_000_000) -> int:
+        """Dispatch until the loop (and substrate, if any) is idle.
+
+        Interleaving contract (identical to the pre-``repro.sim``
+        runner loop): while the substrate has work and its clock trails
+        the next event, it steps; otherwise the next event is popped,
+        the substrate's clock is advanced to the event time, and the
+        handler runs at ``max(event.time, substrate.now)``.
+
+        Returns the number of dispatches + substrate steps; raises
+        ``RuntimeError`` past ``max_steps`` (a diverging simulation).
+        """
+        steps = 0
+        if substrate is None:
+            while self._heap:
+                self.dispatch(self.pop())
+                steps = self._bump(steps, max_steps)
+            return steps
+        while self._heap or substrate.has_work():
+            next_t = self.peek_time()
+            if substrate.has_work() and substrate.now < next_t:
+                substrate.step()
+                steps = self._bump(steps, max_steps)
+                continue
+            if self._heap:
+                event = self.pop()
+                substrate.advance_to(event.time)
+                self.dispatch(event, at=substrate.now)
+                steps = self._bump(steps, max_steps)
+                continue
+            break  # no events, substrate idle
+        return steps
+
+    @staticmethod
+    def _bump(steps: int, max_steps: int) -> int:
+        steps += 1
+        if steps >= max_steps:
+            raise RuntimeError(
+                f"event loop did not drain within {max_steps} steps"
+            )
+        return steps

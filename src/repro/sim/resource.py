@@ -1,0 +1,134 @@
+"""Finite-concurrency resources with FIFO queueing and stats.
+
+A :class:`Resource` models anything a query must hold for a service
+interval before proceeding — a rate-limited profiler API, a vector
+store's search executor, a CPU pool. ``concurrency=None`` means
+unbounded: every request is granted the instant it arrives and the
+completion event lands exactly where an uncontended latency constant
+would, which is how the query pipeline keeps pre-refactor golden
+traces byte-identical at default settings.
+
+With finite concurrency, excess requests wait in arrival (FIFO) order;
+per-request queue delay and per-resource utilization/backlog counters
+are accumulated in :class:`ResourceStats` — the observable that makes
+profiler overhead (paper Fig 18) load-dependent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.kernel import EventLoop
+from repro.util.validation import check_positive
+
+__all__ = ["Resource", "ResourceStats"]
+
+#: ``callback(finish_time, queue_delay_seconds)``
+ResourceCallback = Callable[[float, float], None]
+
+
+@dataclass
+class ResourceStats:
+    """Cumulative counters for one resource over one run."""
+
+    name: str
+    concurrency: float  # math.inf when unbounded
+    n_requests: int = 0
+    n_queued: int = 0  # requests that could not start immediately
+    busy_seconds: float = 0.0  # sum of service (hold) times
+    total_queue_delay: float = 0.0
+    max_queue_delay: float = 0.0
+    peak_in_service: int = 0
+    peak_queue_len: int = 0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.total_queue_delay / self.n_requests
+
+    @property
+    def queued_fraction(self) -> float:
+        if self.n_requests == 0:
+            return 0.0
+        return self.n_queued / self.n_requests
+
+    def utilization(self, makespan: float) -> float:
+        """Mean fraction of capacity busy over ``makespan`` seconds.
+
+        0.0 for unbounded resources (capacity is not a meaningful
+        denominator) and for empty runs.
+        """
+        if makespan <= 0 or self.concurrency == float("inf"):
+            return 0.0
+        return self.busy_seconds / (self.concurrency * makespan)
+
+
+class Resource:
+    """A pool of ``concurrency`` identical servers with a FIFO queue.
+
+    Usage: ``resource.request(t, hold_seconds, callback)`` — the
+    callback fires (via the event loop, so global event ordering stays
+    deterministic) at ``grant_time + hold_seconds`` with the delay the
+    request spent queued. Grants are strictly FIFO; a freed slot goes
+    to the longest-waiting request *before* the finishing request's
+    callback runs, like a semaphore released on the way out.
+    """
+
+    def __init__(self, name: str, loop: EventLoop,
+                 concurrency: int | None = None) -> None:
+        if concurrency is not None:
+            check_positive("concurrency", concurrency)
+        self.name = name
+        self.loop = loop
+        self.concurrency = float("inf") if concurrency is None else int(concurrency)
+        self.stats = ResourceStats(name=name, concurrency=float(self.concurrency))
+        self.in_service = 0
+        #: queued (request_time, hold_seconds, callback) in arrival order
+        self._queue: deque[tuple[float, float, ResourceCallback]] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self, t: float, hold_seconds: float,
+                callback: ResourceCallback) -> None:
+        """Ask for one slot at time ``t`` for ``hold_seconds``."""
+        if hold_seconds < 0:
+            raise ValueError(f"negative hold_seconds: {hold_seconds}")
+        self.stats.n_requests += 1
+        if self.in_service < self.concurrency:
+            self._grant(t, t, hold_seconds, callback)
+            return
+        self.stats.n_queued += 1
+        self._queue.append((t, hold_seconds, callback))
+        self.stats.peak_queue_len = max(self.stats.peak_queue_len,
+                                        len(self._queue))
+
+    # ------------------------------------------------------------------
+    def _grant(self, requested_t: float, start_t: float,
+               hold_seconds: float, callback: ResourceCallback) -> None:
+        self.in_service += 1
+        self.stats.peak_in_service = max(self.stats.peak_in_service,
+                                         self.in_service)
+        self.stats.busy_seconds += hold_seconds
+        delay = start_t - requested_t
+        self.stats.total_queue_delay += delay
+        self.stats.max_queue_delay = max(self.stats.max_queue_delay, delay)
+        self.loop.schedule(
+            start_t + hold_seconds,
+            kind=f"{self.name}:done",
+            handler=self._on_done,
+            payload=(callback, delay),
+        )
+
+    def _on_done(self, t: float, payload: Any) -> None:
+        callback, delay = payload
+        self.in_service -= 1
+        if self._queue and self.in_service < self.concurrency:
+            req_t, hold, queued_cb = self._queue.popleft()
+            self._grant(req_t, t, hold, queued_cb)
+        callback(t, delay)

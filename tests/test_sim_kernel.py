@@ -1,0 +1,187 @@
+"""Property tests for the discrete-event kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.sim import Clock, EventLoop
+from repro.util.rng import RngStreams
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance_forward(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_never_rewinds(self):
+        clock = Clock(start=2.0)
+        clock.advance_to(1.0)
+        assert clock.now == 2.0
+
+
+class TestEventOrdering:
+    def test_equal_timestamps_dispatch_in_insertion_order(self):
+        """The stable tie-break: same time => scheduling order."""
+        loop = EventLoop()
+        fired: list[int] = []
+        for i in range(50):
+            loop.schedule(1.0, "tick", lambda t, _, i=i: fired.append(i))
+        loop.run()
+        assert fired == list(range(50))
+
+    def test_time_order_dominates_insertion_order(self):
+        loop = EventLoop()
+        fired: list[str] = []
+        loop.schedule(2.0, "late", lambda t, _: fired.append("late"), None)
+        loop.schedule(1.0, "early", lambda t, _: fired.append("early"), None)
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_interleaved_equal_and_distinct_times(self):
+        """Random times; equal-time runs must preserve insertion rank."""
+        rng = RngStreams(7).get("sim", "kernel-test")
+        loop = EventLoop()
+        fired: list[tuple[float, int]] = []
+        scheduled: list[tuple[float, int]] = []
+        for i in range(400):
+            t = float(rng.integers(0, 20))  # many collisions
+            scheduled.append((t, i))
+            loop.schedule(t, "e", lambda _, p: fired.append(p), (t, i))
+        loop.run()
+        assert fired == sorted(scheduled, key=lambda p: (p[0], p[1]))
+
+    def test_handlers_can_schedule_cascades(self):
+        loop = EventLoop()
+        fired: list[str] = []
+
+        def first(t, _):
+            fired.append("first")
+            loop.schedule(t, "child", lambda t2, _2: fired.append("child"))
+
+        loop.schedule(1.0, "first", first)
+        loop.schedule(1.0, "second", lambda t, _: fired.append("second"))
+        loop.run()
+        # The cascade lands *after* the already-queued equal-time event.
+        assert fired == ["first", "second", "child"]
+
+    def test_past_scheduled_event_keeps_raw_time_clock_unmoved(self):
+        """Events may be scheduled behind the clock (a cluster frontier
+        regresses); substrate-free dispatch hands the handler the raw
+        event time while the loop clock itself never rewinds."""
+        loop = EventLoop()
+        seen: list[float] = []
+        loop.schedule(1.0, "a", lambda t, _: None)
+        loop.run()
+        assert loop.clock.now == 1.0
+        loop.schedule(0.5, "late", lambda t, _: seen.append(
+            (t, loop.clock.now)))
+        loop.run()
+        assert seen == [(0.5, 1.0)]  # raw time passed, clock unmoved
+
+    def test_pop_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventLoop().pop()
+
+    def test_peek_time_empty_is_inf(self):
+        assert EventLoop().peek_time() == float("inf")
+
+
+class TestDeterminism:
+    @staticmethod
+    def _simulate(seed: int) -> list[tuple]:
+        """A cascading workload: every event spawns 0-2 follow-ons."""
+        rng = RngStreams(seed).get("sim", "determinism")
+        loop = EventLoop()
+        trace: list[tuple] = []
+
+        def handler(t, payload):
+            depth = payload
+            trace.append((round(t, 9), depth, loop.clock.now))
+            if depth < 3:
+                for _ in range(int(rng.integers(0, 3))):
+                    loop.schedule(t + float(rng.exponential(0.5)),
+                                  "spawn", handler, depth + 1)
+
+        for _ in range(30):
+            loop.schedule(float(rng.exponential(1.0)), "root", handler, 0)
+        loop.run()
+        return trace
+
+    def test_identical_seeds_identical_traces(self):
+        assert self._simulate(11) == self._simulate(11)
+
+    def test_different_seeds_differ(self):
+        assert self._simulate(11) != self._simulate(12)
+
+    def test_counters(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(float(i), "e", lambda t, _: None)
+        loop.run()
+        assert loop.n_scheduled == 5
+        assert loop.n_dispatched == 5
+        assert not loop
+
+
+class _FakeSubstrate:
+    """Steppable stub: fixed-duration iterations while work remains."""
+
+    def __init__(self, work_units: int, step_seconds: float) -> None:
+        self.now = 0.0
+        self._work = work_units
+        self.step_seconds = step_seconds
+        self.step_times: list[float] = []
+
+    def has_work(self) -> bool:
+        return self._work > 0
+
+    def step(self):
+        self.step_times.append(self.now)
+        self.now += self.step_seconds
+        self._work -= 1
+
+    def advance_to(self, t: float) -> None:
+        if t > self.now:
+            self.now = t
+
+
+class TestSubstrateInterleaving:
+    def test_steps_while_clock_trails_next_event(self):
+        substrate = _FakeSubstrate(work_units=5, step_seconds=1.0)
+        loop = EventLoop()
+        seen: list[float] = []
+        loop.schedule(2.5, "evt", lambda t, _: seen.append(t))
+        loop.run(substrate=substrate)
+        # Steps at 0 and 1 and 2 precede the event; the iteration
+        # starting at 2 overshoots to 3, so the handler observes 3.0.
+        assert substrate.step_times[:3] == [0.0, 1.0, 2.0]
+        assert seen == [3.0]
+
+    def test_idle_substrate_jumps_to_event_time(self):
+        substrate = _FakeSubstrate(work_units=0, step_seconds=1.0)
+        loop = EventLoop()
+        seen: list[float] = []
+        loop.schedule(4.0, "evt", lambda t, _: seen.append(t))
+        loop.run(substrate=substrate)
+        assert seen == [4.0]
+        assert substrate.now == 4.0
+
+    def test_handler_sees_clamped_time_never_event_time_rewind(self):
+        substrate = _FakeSubstrate(work_units=3, step_seconds=10.0)
+        loop = EventLoop()
+        seen: list[float] = []
+        loop.schedule(5.0, "evt", lambda t, _: seen.append(t))
+        loop.run(substrate=substrate)
+        assert seen == [10.0]  # clamped to the substrate clock
+
+    def test_max_steps_guard(self):
+        loop = EventLoop()
+
+        def rearm(t, _):
+            loop.schedule(t + 1.0, "rearm", rearm)
+
+        loop.schedule(0.0, "rearm", rearm)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            loop.run(max_steps=100)
