@@ -6,6 +6,8 @@ Usage::
     python -m repro run --dataset qmsum --policy vllm --config stuff/8
     python -m repro run --dataset finsec --policy metis --replicas 4 \\
         --router power-of-two
+    python -m repro run --dataset finsec --policy metis --replicas 2 \\
+        --replica-speeds 1.0,0.5 --router least-outstanding
     python -m repro experiment fig10 --fast
     python -m repro datasets
 
@@ -29,16 +31,32 @@ from repro.evaluation.reports import (
 )
 from repro.serving.cluster import ROUTER_NAMES
 
-__all__ = ["main", "parse_config_label", "build_policy"]
+__all__ = ["main", "parse_config_label", "parse_replica_speeds",
+           "build_policy"]
 
 _EXPERIMENTS = (
     "table1", "fig4_knobs", "fig5_per_query", "fig9_confidence",
-    "fig10_delay", "fig11_throughput", "fig11_replicas",
+    "fig10_delay", "fig11_throughput", "fig11_replicas", "fig11_hetero",
     "fig12_breakdown", "fig13_cost",
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
     "fig19_lowload",
 )
+
+
+def parse_replica_speeds(label: str) -> list[float]:
+    """Parse ``--replica-speeds`` (comma-separated multipliers).
+
+    >>> parse_replica_speeds("1.0,0.5")
+    [1.0, 0.5]
+    """
+    try:
+        return [float(part) for part in label.split(",")]
+    except ValueError:
+        raise ValueError(
+            f"replica-speeds must be comma-separated numbers "
+            f"(e.g. 1.0,0.5), got {label!r}"
+        ) from None
 
 
 def parse_config_label(label: str) -> RAGConfig:
@@ -93,6 +111,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     bundle = build_dataset(args.dataset, seed=args.seed,
                            n_queries=args.queries)
     policy = build_policy(args.policy, bundle, args.config, args.seed)
+    speeds = (parse_replica_speeds(args.replica_speeds)
+              if args.replica_speeds else None)
     result = run_policy(
         bundle, policy,
         rate_qps=args.rate, seed=args.seed,
@@ -101,11 +121,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profiler_concurrency=args.profiler_concurrency,
         retrieval_concurrency=args.retrieval_concurrency,
         closed_loop_clients=args.closed_loop_clients,
+        replica_speeds=speeds,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
     if args.replicas > 1:
         title += f" ({args.replicas} replicas, {args.router} router)"
+    if speeds is not None:
+        title += f" [speeds {','.join(f'{s:g}' for s in speeds)}]"
     print(format_table(rows, title=title))
     if args.replicas > 1:
         print()
@@ -178,6 +201,10 @@ def make_parser() -> argparse.ArgumentParser:
                      default="least-kv-load",
                      help="cluster load-balancing policy "
                           "(with --replicas > 1)")
+    run.add_argument("--replica-speeds", default=None,
+                     help="comma-separated per-replica speed "
+                          "multipliers, e.g. 1.0,0.5 (length must "
+                          "equal --replicas; default: homogeneous)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

@@ -19,8 +19,13 @@ Each query traverses five explicit stages on the shared
 * :class:`SynthesizeStage` — prompt building: clip chunks to the
   context budget and expand the config into a synthesis plan.
 * :class:`ServeStage` — submit the plan's LLM calls stage by stage to
-  the serving engine; completion closes the loop (records, feedback,
-  closed-loop re-arrival).
+  the serving engine and *await their completion events*: engine
+  iterations are first-class events on the shared loop (a
+  :class:`~repro.sim.driver.StepDriver` keeps one step event armed per
+  engine/cluster; idle replicas sleep, admission wakes them), so each
+  call's ``on_finish`` fires from within the step event that completes
+  it — no stage ever polls the engine. Completion closes the loop
+  (records, feedback, closed-loop re-arrival).
 
 Determinism contract: with both resources unbounded (the default) the
 event schedule is *byte-identical* to the pre-``repro.sim`` runner —
@@ -344,6 +349,8 @@ class QueryPipeline:
         self.retrieval = Resource(RETRIEVAL_RESOURCE, self.loop,
                                   retrieval_concurrency)
         self.ledger = CostLedger()
+        #: StepDriver wiring the engine onto the loop (set by ``run``).
+        self.driver = None
         self.records: list[QueryRecord] = []
         self._synthesizers: dict = {}
         self._pending_closed: deque[Arrival] = deque()
@@ -375,7 +382,13 @@ class QueryPipeline:
                 )
             for arrival in arrivals:
                 self._schedule_arrival(arrival.time, arrival.query)
-        self.loop.run(substrate=self.engine)
+        # Event-driven serving: the engine's iterations are first-class
+        # events on the shared loop (armed by a StepDriver; idle
+        # engines/replicas sleep and are woken by admission), replacing
+        # the legacy polling interleave `loop.run(substrate=engine)`.
+        # The dispatch order is byte-identical — see repro.sim.driver.
+        self.driver = self.engine.attach(self.loop)
+        self.loop.run()
 
     def _schedule_arrival(self, t: float, query: Query) -> None:
         self.loop.schedule(t, "arrival", self.profile.enter, query)
@@ -473,6 +486,8 @@ class QueryPipeline:
                 replica_available_kv_bytes=tuple(
                     r.available_kv_bytes() for r in engine.replicas
                 ),
+                replica_now=tuple(r.now for r in engine.replicas),
+                replica_speeds=engine.replica_speeds,
             )
 
         return SchedulingView(

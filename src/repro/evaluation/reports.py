@@ -75,8 +75,17 @@ def per_replica_rows(result) -> list[dict]:
 
     ``result`` is a :class:`~repro.evaluation.runner.RunResult`
     (duck-typed: anything with ``records`` carrying ``replica`` /
-    ``fell_back`` / ``queueing_delay`` and a ``replica_stats`` list).
+    ``fell_back`` / ``queueing_delay`` and a ``replica_stats`` list;
+    an optional ``replica_speeds`` list adds the per-replica speed
+    multiplier column for heterogeneous fleets).
+
+    ``busy_seconds`` and ``wakeups`` (idle-to-busy transitions, i.e.
+    the wake events the event-driven stepping armed for the replica)
+    together describe each replica's duty cycle: a fast replica in a
+    heterogeneous fleet shows more wakeups and less busy time per
+    query than its slow peers.
     """
+    speeds = list(getattr(result, "replica_speeds", None) or [])
     rows: list[dict] = []
     for i, stats in enumerate(result.replica_stats):
         records = [r for r in result.records if r.replica == i]
@@ -86,9 +95,11 @@ def per_replica_rows(result) -> list[dict]:
         p50 = delays[len(delays) // 2] if delays else 0.0
         rows.append(dict(
             replica=i,
+            speed=speeds[i] if i < len(speeds) else 1.0,
             queries=n,
             requests_finished=stats.requests_finished,
             busy_seconds=stats.busy_seconds,
+            wakeups=stats.wakeups,
             peak_kv_utilization=stats.peak_kv_utilization,
             admission_stalls=stats.admission_stalls,
             fallback_rate=(n_fallback / n) if n else 0.0,

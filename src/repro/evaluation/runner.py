@@ -52,6 +52,8 @@ class RunResult:
     ledger: CostLedger
     #: Per-replica engine counters (one entry on a bare engine).
     replica_stats: list[EngineStats] = field(default_factory=list)
+    #: Per-replica speed multipliers (parallel to ``replica_stats``).
+    replica_speeds: list[float] = field(default_factory=list)
     #: Contended-resource counters keyed by resource name
     #: (``profiler`` / ``retrieval``).
     resource_stats: dict[str, ResourceStats] = field(default_factory=dict)
@@ -124,6 +126,14 @@ class ExperimentRunner:
     wait in FIFO order and the waits surface in
     :attr:`RunResult.resource_stats` and the per-query
     ``profiler_queue_delay`` / ``retrieval_queue_delay`` fields.
+
+    ``replica_speeds`` makes the fleet heterogeneous: one hardware-
+    throughput multiplier per replica (replicas advance independently
+    on the event loop, so a 0.5× replica simply takes 2× as long per
+    iteration). Its length must equal ``n_replicas``; a mismatch fails
+    fast with both counts — mirroring the mixed open/closed-loop
+    workload validation — rather than silently recycling or truncating
+    speeds.
     """
 
     def __init__(
@@ -136,12 +146,25 @@ class ExperimentRunner:
         router: str = "least-kv-load",
         profiler_concurrency: int | None = None,
         retrieval_concurrency: int | None = None,
+        replica_speeds: list[float] | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
         if profiler_concurrency is not None:
             check_positive("profiler_concurrency", profiler_concurrency)
         if retrieval_concurrency is not None:
             check_positive("retrieval_concurrency", retrieval_concurrency)
+        if replica_speeds is not None:
+            speeds = [float(s) for s in replica_speeds]
+            if len(speeds) != int(n_replicas):
+                raise ValueError(
+                    f"replica_speeds has {len(speeds)} entries but "
+                    f"n_replicas is {int(n_replicas)}; pass exactly one "
+                    "speed per replica (e.g. --replica-speeds 1.0,0.5 "
+                    "with --replicas 2)"
+                )
+            for i, s in enumerate(speeds):
+                check_positive(f"replica_speeds[{i}]", s)
+            replica_speeds = speeds
         self.bundle = bundle
         self.engine_config = engine_config
         self.seed = seed
@@ -149,6 +172,7 @@ class ExperimentRunner:
         self.router = router
         self.profiler_concurrency = profiler_concurrency
         self.retrieval_concurrency = retrieval_concurrency
+        self.replica_speeds = replica_speeds
         params = quality_params or bundle.quality_params
         self.generator = SimulatedGenerator(
             quality=QualityModel(params), root_seed=seed
@@ -173,9 +197,12 @@ class ExperimentRunner:
                 n_replicas=self.n_replicas,
                 router=self.router,
                 seed=self.seed,
+                replica_speeds=self.replica_speeds,
             )
         else:
-            engine = ServingEngine(config)
+            speed = (self.replica_speeds[0]
+                     if self.replica_speeds else 1.0)
+            engine = ServingEngine(config, speed=speed)
         pipeline = QueryPipeline(
             bundle=self.bundle,
             policy=policy,
@@ -192,8 +219,10 @@ class ExperimentRunner:
         makespan = engine.now
         if isinstance(engine, ClusterEngine):
             replica_stats = [r.stats for r in engine.replicas]
+            replica_speeds = list(engine.replica_speeds)
         else:
             replica_stats = [engine.stats]
+            replica_speeds = [engine.speed]
         return RunResult(
             policy=policy.name,
             dataset=self.bundle.name,
@@ -202,6 +231,7 @@ class ExperimentRunner:
             engine_stats=engine.stats,
             ledger=ledger,
             replica_stats=replica_stats,
+            replica_speeds=replica_speeds,
             resource_stats=pipeline.resource_stats(),
         )
 

@@ -188,16 +188,18 @@ def run_policy(
     profiler_concurrency: int | None = None,
     retrieval_concurrency: int | None = None,
     closed_loop_clients: int = 1,
+    replica_speeds: list[float] | None = None,
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
     ``n_replicas > 1`` serves the workload on a replicated cluster
     behind the named load-aware ``router`` (see
-    :mod:`repro.serving.cluster`). Finite ``profiler_concurrency`` /
-    ``retrieval_concurrency`` make the profiler API and the vector
-    store contended FIFO resources (see :mod:`repro.sim`);
-    ``closed_loop_clients`` sets how many queries a ``sequential``
-    workload keeps outstanding.
+    :mod:`repro.serving.cluster`); ``replica_speeds`` (one multiplier
+    per replica) makes the fleet heterogeneous. Finite
+    ``profiler_concurrency`` / ``retrieval_concurrency`` make the
+    profiler API and the vector store contended FIFO resources (see
+    :mod:`repro.sim`); ``closed_loop_clients`` sets how many queries a
+    ``sequential`` workload keeps outstanding.
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     if sequential:
@@ -214,6 +216,7 @@ def run_policy(
         router=router,
         profiler_concurrency=profiler_concurrency,
         retrieval_concurrency=retrieval_concurrency,
+        replica_speeds=replica_speeds,
     )
     return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 

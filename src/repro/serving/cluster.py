@@ -1,13 +1,28 @@
 """Multi-replica serving cluster: N engines behind a load-aware router.
 
 A :class:`ClusterEngine` owns N independent :class:`ServingEngine`
-replicas and steps them in *lockstep on a shared clock*: each
-:meth:`ClusterEngine.step` advances the busy replica whose local clock
-lags furthest behind (ties broken by replica index), so no replica's
-simulated time ever runs ahead of another replica that still has work
-at an earlier timestamp. With one replica the cluster is therefore
-step-for-step identical to a bare engine — the golden-trace test pins
-this down.
+replicas that advance as *first-class events* on the shared
+:class:`~repro.sim.kernel.EventLoop` (via :meth:`ClusterEngine.attach`
+and a :class:`~repro.sim.driver.StepDriver`): while any replica has
+work, one armed step event sits at the cluster frontier — the minimum
+busy-replica clock — and each firing advances the lagging busy replica
+(ties broken by replica index). Idle replicas hold no events (they
+*sleep*); admission wakes them through the engine's ``wake_hook``, and
+a submission routed to an idle replica of a busy cluster *regresses*
+the frontier, which the driver tracks by rescheduling the armed event.
+
+:meth:`ClusterEngine.step` exposes the same advance-the-lagging-replica
+rule as a manual driving surface, so hand-rolled loops (tests, the
+golden-trace pins) and the event-driven path produce byte-identical
+traces — with one replica both collapse to a bare engine, which the
+golden-trace test pins down.
+
+Replicas may run at heterogeneous speeds (``replica_speeds``: per-
+replica hardware-throughput multipliers, e.g. ``(1.0, 0.5)`` for a
+fast/slow pair); each replica's iterations simply take
+``roofline / speed`` seconds and the event order follows from the
+clocks. Homogeneous fleets (the default) are float-exact with the
+pre-``speed`` cluster.
 
 Requests are placed by a pluggable :class:`Router`. Routing is sticky
 per application (``app_id``): every LLM call of one RAG query lands on
@@ -31,12 +46,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.serving.engine import EngineConfig, EngineStats, ServingEngine, StepInfo
 from repro.serving.request import InferenceRequest
 from repro.util.rng import stream
 from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> serving)
+    from repro.sim import EventLoop, StepDriver
 
 __all__ = [
     "ClusterEngine",
@@ -181,15 +199,20 @@ class ReplicaSnapshot:
     free_kv_bytes: float
     available_kv_bytes: float
     stats: EngineStats
+    speed: float = 1.0
 
 
 class ClusterEngine:
-    """N independent serving replicas stepped in lockstep.
+    """N independent serving replicas advanced as events.
 
     Exposes the same driving surface as :class:`ServingEngine`
     (``now`` / ``has_work`` / ``advance_to`` / ``submit`` / ``step`` /
-    ``run_until_idle`` / ``stats``), so the experiment runner's event
-    loop drives either interchangeably.
+    ``run_until_idle`` / ``stats`` / ``attach``), so the experiment
+    runner's event loop drives either interchangeably.
+
+    ``replica_speeds`` gives each replica a hardware-throughput
+    multiplier (see :class:`ServingEngine`); its length must equal
+    ``n_replicas`` — a mismatch fails fast with the offending counts.
     """
 
     def __init__(
@@ -198,14 +221,32 @@ class ClusterEngine:
         n_replicas: int = 1,
         router: str | Router = "least-kv-load",
         seed: int = 0,
+        replica_speeds: Sequence[float] | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
+        n_replicas = int(n_replicas)
+        if replica_speeds is None:
+            speeds = [1.0] * n_replicas
+        else:
+            speeds = [float(s) for s in replica_speeds]
+            if len(speeds) != n_replicas:
+                raise ValueError(
+                    f"replica_speeds has {len(speeds)} entries but the "
+                    f"cluster has {n_replicas} replicas; pass one speed "
+                    "per replica"
+                )
+            for i, s in enumerate(speeds):
+                check_positive(f"replica_speeds[{i}]", s)
         self.config = config
-        self.replicas = [ServingEngine(config) for _ in range(int(n_replicas))]
+        self.replicas = [ServingEngine(config, speed=s) for s in speeds]
+        self.replica_speeds: tuple[float, ...] = tuple(speeds)
         self.router = (make_router(router, seed=seed)
                        if isinstance(router, str) else router)
         self._pins: dict[str, int] = {}
         self._assignments: dict[int, int] = {}  # request_id -> replica
+        #: Called after every ``submit`` (admission may need a wake /
+        #: frontier re-arm); set by :meth:`attach`.
+        self.wake_hook: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # Introspection (mirrors ServingEngine where meaningful)
@@ -233,11 +274,14 @@ class ClusterEngine:
 
     @property
     def now(self) -> float:
-        """The shared lockstep clock.
+        """The cluster frontier.
 
         While any replica is busy this is the *earliest* busy replica
-        clock (the simulation frontier that must advance next); when
-        the cluster is idle it is the latest time any replica reached.
+        clock (the simulation frontier that must advance next — and
+        the timestamp of the armed step event in event-driven mode);
+        when the cluster is idle it is the latest time any replica
+        reached. Note the frontier is not monotone: admission to an
+        idle replica of a busy cluster pulls it backwards.
         """
         busy = [r.now for r in self.replicas if r.has_work()]
         if busy:
@@ -255,6 +299,7 @@ class ClusterEngine:
             agg.decode_tokens += r.stats.decode_tokens
             agg.requests_finished += r.stats.requests_finished
             agg.admission_stalls += r.stats.admission_stalls
+            agg.wakeups += r.stats.wakeups
             agg.peak_kv_utilization = max(agg.peak_kv_utilization,
                                           r.stats.peak_kv_utilization)
         return agg
@@ -276,6 +321,7 @@ class ClusterEngine:
                 free_kv_bytes=r.free_kv_bytes(),
                 available_kv_bytes=r.available_kv_bytes(),
                 stats=r.stats,
+                speed=r.speed,
             )
             for i, r in enumerate(self.replicas)
         )
@@ -333,6 +379,11 @@ class ClusterEngine:
             rid = self._checked_select()
         submitted = self.replicas[rid].submit(request)
         self._assignments[request.request_id] = rid
+        if self.wake_hook is not None:
+            # Admission may wake an idle cluster or regress the
+            # frontier (an idle replica's clock trails busy ones);
+            # the StepDriver (re-)arms the step event accordingly.
+            self.wake_hook()
         return submitted
 
     def advance_to(self, t: float) -> None:
@@ -341,7 +392,13 @@ class ClusterEngine:
             r.advance_to(t)
 
     def step(self) -> ClusterStepInfo:
-        """Advance the lagging busy replica by one engine iteration."""
+        """Advance the lagging busy replica by one engine iteration.
+
+        This is the single stepping rule for both driving modes: the
+        event-driven :class:`~repro.sim.driver.StepDriver` calls it
+        once per fired step event, and manual loops call it directly —
+        the min-clock / min-index order makes the two byte-identical.
+        """
         busy = [i for i, r in enumerate(self.replicas) if r.has_work()]
         if not busy:
             raise RuntimeError("step() called on an idle cluster")
@@ -350,6 +407,21 @@ class ClusterEngine:
         for finished in info.finished:
             self._assignments.pop(finished.request_id, None)
         return ClusterStepInfo(replica_id=rid, info=info)
+
+    def attach(self, loop: "EventLoop") -> "StepDriver":
+        """Run this cluster's replicas as first-class events on ``loop``.
+
+        Registers the cluster as a time source and arms a
+        :class:`~repro.sim.driver.StepDriver`; ``submit`` notifies the
+        driver so idle replicas wake at admission time, busy ones keep
+        exactly one step event armed at the frontier, and a drained
+        cluster holds no events at all.
+        """
+        from repro.sim.driver import StepDriver
+
+        driver = StepDriver(loop, self, kind="cluster-step")
+        self.wake_hook = driver.notify
+        return driver
 
     def run_until_idle(self, max_iterations: int = 1_000_000) -> int:
         """Step until every replica drains; returns total iterations."""

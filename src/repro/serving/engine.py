@@ -14,12 +14,13 @@ but tractable (documented in DESIGN.md):
   therefore slightly conservative, which *under*-states METIS' benefit.
 * The final prefill chunk also yields the first output token (as in
   chunked-prefill vLLM).
-* Multi-replica serving (``repro.serving.cluster``) steps replicas in
-  lockstep on a shared clock instead of running per-replica threads;
-  replicas never share KV memory or migrate sequences, and a request
-  is routed exactly once at submission (no work stealing). Real
-  deployments rebalance mid-flight; lockstep keeps traces
-  deterministic and replica-count comparisons exact.
+* Multi-replica serving (``repro.serving.cluster``) advances replicas
+  as events on a shared discrete-event loop instead of running
+  per-replica threads; replicas never share KV memory or migrate
+  sequences, and a request is routed exactly once at submission (no
+  work stealing). Real deployments rebalance mid-flight; the
+  deterministic event order keeps traces replayable and replica-count
+  comparisons exact.
 * Cross-replica placement is per *app* (all LLM calls of one RAG query
   stay on one replica), matching the co-location a Parrot-style
   gateway would enforce, rather than per-call scatter.
@@ -28,6 +29,7 @@ but tractable (documented in DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.llm.costs import RooflineCostModel
 from repro.llm.gpu import ClusterSpec
@@ -37,6 +39,9 @@ from repro.serving.memory import GPUMemoryModel
 from repro.serving.policies import SchedulingPolicy, make_policy
 from repro.serving.request import InferenceRequest, RequestPhase
 from repro.util.validation import check_in_range, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> serving)
+    from repro.sim import EventLoop, StepDriver
 
 __all__ = ["EngineConfig", "ServingEngine", "StepInfo", "EngineStats"]
 
@@ -94,14 +99,26 @@ class EngineStats:
     requests_finished: int = 0
     peak_kv_utilization: float = 0.0
     admission_stalls: int = 0  # iterations where the queue head could not fit
+    wakeups: int = 0  # idle -> busy transitions (event-driven wake events)
 
 
 class ServingEngine:
-    """Continuous-batching engine over a simulated GPU cluster."""
+    """Continuous-batching engine over a simulated GPU cluster.
+
+    ``speed`` is a hardware-throughput multiplier: every iteration's
+    roofline duration is divided by it, so ``speed=0.5`` models a
+    replica on half-rate hardware (iterations take twice as long).
+    The default 1.0 divides by the float literal ``1.0``, which is
+    exact in IEEE arithmetic — homogeneous traces are byte-identical
+    to the pre-``speed`` engine.
+    """
 
     def __init__(self, config: EngineConfig,
-                 policy: SchedulingPolicy | None = None) -> None:
+                 policy: SchedulingPolicy | None = None,
+                 speed: float = 1.0) -> None:
+        check_positive("speed", speed)
         self.config = config
+        self.speed = float(speed)
         self.memory = GPUMemoryModel(
             config.model,
             config.cluster,
@@ -120,6 +137,9 @@ class ServingEngine:
         self._waiting: list[InferenceRequest] = []
         self._running: list[InferenceRequest] = []
         self._watermark_blocks = int(self.blocks.n_blocks * config.watermark_frac)
+        #: Called after every ``submit`` (admission may need a wake /
+        #: frontier re-arm); set by :meth:`attach`.
+        self.wake_hook: Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -181,7 +201,11 @@ class ServingEngine:
             )
         if request.phase is not RequestPhase.WAITING:
             raise ValueError(f"request already scheduled: {request!r}")
+        if not self.has_work():
+            self.stats.wakeups += 1
         self._waiting.append(request)
+        if self.wake_hook is not None:
+            self.wake_hook()
         return request
 
     def advance_to(self, t: float) -> None:
@@ -206,7 +230,7 @@ class ServingEngine:
         kv_tokens = sum(r.kv_tokens_in_use for r in decode_seqs)
         duration = self.cost.iteration_seconds(
             prefill_tokens, kv_tokens, len(decode_seqs)
-        )
+        ) / self.speed
         start = self.now
         self.now += duration
 
@@ -324,6 +348,20 @@ class ServingEngine:
             request.on_finish(request, self.now)
 
     # ------------------------------------------------------------------
+    def attach(self, loop: "EventLoop") -> "StepDriver":
+        """Run this engine as first-class events on ``loop``.
+
+        Registers the engine as a time source and arms a
+        :class:`~repro.sim.driver.StepDriver` whose step events carry
+        each iteration; ``submit`` notifies the driver so an idle
+        engine wakes at admission time and sleeps when it drains.
+        """
+        from repro.sim.driver import StepDriver
+
+        driver = StepDriver(loop, self)
+        self.wake_hook = driver.notify
+        return driver
+
     def run_until_idle(self, max_iterations: int = 1_000_000) -> int:
         """Step until all submitted work completes; returns iterations."""
         n = 0

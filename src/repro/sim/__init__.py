@@ -6,6 +6,7 @@ shares one clock, one event-ordering rule, and one resource-contention
 model. See ``docs/ARCHITECTURE.md``.
 """
 
+from repro.sim.driver import StepDriver
 from repro.sim.kernel import Clock, Event, EventLoop, Steppable
 from repro.sim.resource import Resource, ResourceStats
 
@@ -15,5 +16,6 @@ __all__ = [
     "EventLoop",
     "Resource",
     "ResourceStats",
+    "StepDriver",
     "Steppable",
 ]

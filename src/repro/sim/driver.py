@@ -1,0 +1,139 @@
+"""Event-driven stepping: run a :class:`~repro.sim.kernel.Steppable`
+as first-class events on a shared :class:`~repro.sim.kernel.EventLoop`.
+
+A :class:`StepDriver` replaces the legacy polling interleave
+(``EventLoop.run(substrate=...)``) with an *armed step event*: while
+the substrate has work, exactly one source event sits on the loop at
+the substrate's frontier (``substrate.now``); each firing performs one
+:meth:`~repro.sim.kernel.Steppable.step` and re-arms at the new
+frontier. When the substrate drains, the driver simply stops
+scheduling — an idle substrate costs zero events and zero polling.
+
+Idle-wakeup protocol
+--------------------
+
+Admission can change the frontier, so the substrate must tell the
+driver about it (engines call :meth:`notify` from their ``submit`` via
+the ``wake_hook`` attribute):
+
+* **wake** — the substrate was idle, so no step event existed; the
+  driver arms one at the substrate's (just-advanced) clock.
+* **frontier regression** — on a cluster, a submission routed to an
+  idle *replica* of a busy cluster can pull the frontier (the minimum
+  busy-replica clock) backwards. The armed event's timestamp is now
+  too late, so the driver moves it to the new frontier via
+  :meth:`~repro.sim.kernel.EventLoop.reschedule` — this is the kernel gap (cancel/reschedule)
+  that event-driven replicas exposed.
+* **no-op** — a submission to an already-busy substrate that leaves
+  the frontier unchanged needs nothing; the armed event stands.
+
+Notifications that arrive *during* a step (continuous batching: a
+finished request's callback submits the next synthesis stage) are
+deferred: the driver re-arms once the step returns, observing the
+post-step frontier.
+
+Lockstep equivalence
+--------------------
+
+With homogeneous replicas, the dispatch order produced by this driver
+is **byte-identical** to the legacy polling mode: step events rank
+after equal-time external events (matching the old strict
+``substrate.now < next_event`` comparison), each firing advances the
+lagging busy replica (``ClusterEngine.step``'s existing min-clock /
+min-index rule), and external events still observe
+``max(event.time, substrate.now)`` via ``EventLoop.attach``.
+``tests/test_cluster_events.py`` pins this equivalence for bare
+engines and multi-replica clusters; ``tests/test_cluster_golden.py``
+and the pipeline golden fingerprint continue to pass unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.kernel import Event, EventLoop, Steppable
+
+__all__ = ["StepDriver"]
+
+#: ``on_step(step_result)`` — observe each substrate iteration.
+StepObserver = Callable[[object], None]
+
+
+class StepDriver:
+    """Keeps one step event armed while ``substrate`` has work.
+
+    Construction attaches the substrate to the loop as a time source
+    (external events advance/clamp against it) and arms the first step
+    event if the substrate already has work. Callers must route
+    admission notifications to :meth:`notify` — engines do this
+    automatically when wired via ``ServingEngine.attach`` /
+    ``ClusterEngine.attach``.
+    """
+
+    def __init__(self, loop: EventLoop, substrate: Steppable,
+                 kind: str = "engine-step",
+                 on_step: StepObserver | None = None) -> None:
+        self.loop = loop
+        self.substrate = substrate
+        self.kind = kind
+        self.on_step = on_step
+        self._armed: Event | None = None
+        self._in_step = False
+        #: idle -> busy transitions (a step event newly armed)
+        self.n_wakes = 0
+        #: busy -> idle transitions (the driver stopped scheduling)
+        self.n_sleeps = 0
+        #: steps dispatched through the loop
+        self.n_steps = 0
+        loop.attach(substrate)
+        self._arm(wake=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def armed_time(self) -> float:
+        """Timestamp of the armed step event (``inf`` when sleeping)."""
+        return self._armed.time if self._armed is not None else float("inf")
+
+    def notify(self) -> None:
+        """Admission happened: wake or re-arm to the new frontier.
+
+        Safe to call at any time; during a step it defers to the
+        post-step re-arm (which observes the final frontier).
+        """
+        if self._in_step:
+            return
+        self._arm(wake=True)
+
+    def _arm(self, wake: bool) -> None:
+        if not self.substrate.has_work():
+            return
+        frontier = self.substrate.now
+        if self._armed is None:
+            if wake:
+                self.n_wakes += 1
+            self._armed = self.loop.schedule(
+                frontier, self.kind, self._on_step, source=self.substrate
+            )
+        elif frontier < self._armed.time:
+            # A submission to an idle replica regressed the cluster
+            # frontier below the armed event; pull the event back so
+            # the lagging replica steps before any external event in
+            # between (exactly the legacy polling order).
+            self._armed = self.loop.reschedule(self._armed, frontier)
+
+    def _on_step(self, t: float, _payload: object) -> None:
+        self._armed = None
+        if not self.substrate.has_work():  # pragma: no cover - defensive
+            return
+        self._in_step = True
+        try:
+            result = self.substrate.step()
+        finally:
+            self._in_step = False
+        self.n_steps += 1
+        if self.on_step is not None:
+            self.on_step(result)
+        if self.substrate.has_work():
+            self._arm(wake=False)
+        else:
+            self.n_sleeps += 1

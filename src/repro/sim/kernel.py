@@ -1,25 +1,39 @@
 """Deterministic discrete-event kernel: clock, typed events, event loop.
 
-This is the substrate every workload driver in the repo shares. Three
+This is the substrate every workload driver in the repo shares. Four
 properties are load-bearing and pinned by ``tests/test_sim_kernel.py``:
 
 * **Stable tie-breaking** — events scheduled for the same simulated
   time dispatch in scheduling (insertion) order, via a monotonic
   sequence counter. No heap-order nondeterminism ever leaks into a
-  trace.
+  trace. The only exception is deliberate: *source events* (engine
+  step events scheduled by an attached substrate) rank **after**
+  external events at the same instant, mirroring the strict
+  ``substrate.now < next_event`` comparison of the old polling loop.
 * **Determinism** — the kernel holds no RNG and no wall-clock state;
   replaying the same schedule calls produces the same dispatch
   sequence, byte for byte.
-* **Substrate interleaving** — :meth:`EventLoop.run` can co-simulate a
-  *steppable substrate* (anything with ``now`` / ``has_work()`` /
-  ``step()`` / ``advance_to(t)``, e.g. a
+* **Cancellation is explicit** — :meth:`EventLoop.cancel` and
+  :meth:`EventLoop.reschedule` use lazy heap deletion: a cancelled
+  event never fires, never perturbs the ordering of surviving events,
+  and rescheduling re-inserts at a fresh sequence number (so the
+  rescheduled event ranks as the *newest* insertion at its new time).
+* **Event-driven substrates** — :meth:`EventLoop.attach` registers a
+  :class:`Steppable` (e.g. a
   :class:`~repro.serving.engine.ServingEngine` or
-  :class:`~repro.serving.cluster.ClusterEngine`): the substrate steps
-  while its clock trails the next event, exactly as a real serving
-  stack interleaves GPU iterations with external arrivals. A substrate
-  iteration may overshoot an event's timestamp, in which case the
-  handler observes the (later) substrate clock — the kernel never
-  rewinds time.
+  :class:`~repro.serving.cluster.ClusterEngine`) as a *time source*:
+  plain :meth:`run` then advances attached sources to each external
+  event's timestamp and dispatches the handler at
+  ``max(event.time, source.now)`` — the same never-rewind clamping the
+  legacy polling mode applies. The stepping itself is carried by
+  source events a :class:`~repro.sim.driver.StepDriver` keeps armed
+  (wake on admission, sleep when idle), so idle substrates cost zero
+  work instead of a ``has_work()`` poll per event.
+
+The legacy polling mode — :meth:`EventLoop.run` with an explicit
+``substrate=`` argument — is retained for manual drivers and as the
+reference semantics the event-driven mode must reproduce byte for byte
+(see ``tests/test_cluster_events.py``).
 """
 
 from __future__ import annotations
@@ -68,7 +82,11 @@ class Event:
     """One scheduled occurrence.
 
     ``seq`` is the kernel-assigned insertion index: the heap orders by
-    ``(time, seq)``, so equal-time events pop in scheduling order.
+    ``(time, rank, seq)`` where ``rank`` is 0 for external events and 1
+    for source events (``source is not None``), so equal-time events
+    pop in scheduling order and substrate steps yield to equal-time
+    external events exactly as the legacy polling loop's strict
+    ``now < next_event`` comparison did.
     """
 
     time: float
@@ -76,32 +94,51 @@ class Event:
     kind: str
     handler: EventHandler = field(repr=False)
     payload: Any = None
+    #: The substrate that scheduled this event (``None`` = external).
+    #: Source events skip the attached-source advance/clamp at dispatch
+    #: — the source manages its own clocks.
+    source: Any = field(default=None, repr=False)
+
+    @property
+    def rank(self) -> int:
+        return 0 if self.source is None else 1
 
 
 class EventLoop:
     """Priority-queue event loop with stable FIFO tie-breaking.
 
-    The loop can be driven two ways:
+    The loop can be driven three ways:
 
-    * :meth:`run` — dispatch everything (optionally interleaving a
-      :class:`Steppable` substrate) until both are idle.
+    * :meth:`run` — dispatch everything until idle. With substrates
+      registered via :meth:`attach` (and their step events kept armed
+      by a :class:`~repro.sim.driver.StepDriver`), engine iterations
+      are first-class events on this loop.
+    * :meth:`run` with ``substrate=`` — the legacy polling mode: step
+      the substrate while its clock trails the next event.
     * :meth:`peek_time` / :meth:`pop` / :meth:`dispatch` — manual
       control for callers that own their own outer loop.
 
-    Handlers may schedule further events; cancellation is intentionally
-    absent (traces stay replayable).
+    Cancellation (:meth:`cancel` / :meth:`reschedule`) uses lazy heap
+    deletion: tombstoned entries are skipped at ``peek``/``pop`` time,
+    so surviving events keep their exact ``(time, rank, seq)`` order.
     """
 
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock = clock or Clock()
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
+        #: seqs scheduled but neither dispatched nor cancelled
+        self._pending: set[int] = set()
+        #: seqs cancelled but not yet pruned from the heap
+        self._tombstones: set[int] = set()
+        self._sources: list[Steppable] = []
         self.n_scheduled = 0
         self.n_dispatched = 0
+        self.n_cancelled = 0
 
     # ------------------------------------------------------------------
     def schedule(self, time: float, kind: str, handler: EventHandler,
-                 payload: Any = None) -> Event:
+                 payload: Any = None, source: Any = None) -> Event:
         """Enqueue ``handler(t, payload)`` at simulated ``time``.
 
         ``time`` may trail the loop clock: a co-simulated substrate's
@@ -111,30 +148,96 @@ class EventLoop:
         at timestamps earlier than the last dispatch. Such events keep
         their raw time for heap ordering; at dispatch their handler
         observes ``max(event.time, substrate.now)`` when a substrate is
-        interleaved, but the *raw* event time in substrate-free mode
-        (only ``clock.now`` itself never rewinds).
+        attached/interleaved, but the *raw* event time in
+        substrate-free mode (only ``clock.now`` itself never rewinds).
+
+        ``source`` marks a substrate-scheduled step event: it ranks
+        after equal-time external events and is dispatched without the
+        attached-source advance/clamp (see :class:`Event`).
         """
         event = Event(time=time, seq=next(self._seq), kind=kind,
-                      handler=handler, payload=payload)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+                      handler=handler, payload=payload, source=source)
+        heapq.heappush(self._heap, (event.time, event.rank, event.seq, event))
+        self._pending.add(event.seq)
         self.n_scheduled += 1
         return event
 
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event; it will never fire.
+
+        Returns ``True`` if the event was pending (and is now dead),
+        ``False`` if it had already been dispatched or cancelled.
+        Cancellation never perturbs the relative order of surviving
+        events (lazy deletion — pinned by ``tests/test_sim_kernel.py``).
+        """
+        if event.seq not in self._pending:
+            return False
+        self._pending.discard(event.seq)
+        self._tombstones.add(event.seq)
+        self.n_cancelled += 1
+        return True
+
+    def reschedule(self, event: Event, time: float) -> Event:
+        """Move a pending event to a new time.
+
+        Implemented as cancel + fresh schedule, so the moved event
+        takes a **new** sequence number: among equal-time events it
+        ranks as the newest insertion. Raises ``ValueError`` if the
+        event already fired or was cancelled.
+        """
+        if not self.cancel(event):
+            raise ValueError(
+                f"cannot reschedule event {event.kind!r} (seq {event.seq}): "
+                "already dispatched or cancelled"
+            )
+        return self.schedule(time, event.kind, event.handler,
+                             payload=event.payload, source=event.source)
+
+    # ------------------------------------------------------------------
+    def attach(self, source: Steppable) -> None:
+        """Register a substrate as a time source for event dispatch.
+
+        Attached sources are advanced to each external event's
+        timestamp before its handler runs, and the handler observes
+        ``max(event.time, source.now)`` — identical to the legacy
+        ``run(substrate=...)`` clamping. Stepping the source is the
+        :class:`~repro.sim.driver.StepDriver`'s job (it keeps a step
+        event armed while the source has work).
+        """
+        if source in self._sources:
+            raise ValueError(f"source {source!r} is already attached")
+        self._sources.append(source)
+
+    @property
+    def sources(self) -> tuple[Steppable, ...]:
+        return tuple(self._sources)
+
+    # ------------------------------------------------------------------
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self._pending)
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._pending)
+
+    def _prune(self) -> None:
+        """Drop tombstoned entries from the heap top."""
+        heap = self._heap
+        while heap and heap[0][3].seq in self._tombstones:
+            self._tombstones.discard(heapq.heappop(heap)[3].seq)
 
     def peek_time(self) -> float:
-        """Timestamp of the next event (``inf`` when empty)."""
+        """Timestamp of the next live event (``inf`` when empty)."""
+        self._prune()
         return self._heap[0][0] if self._heap else float("inf")
 
     def pop(self) -> Event:
-        """Remove and return the next event (does not touch the clock)."""
+        """Remove and return the next live event (clock untouched)."""
+        self._prune()
         if not self._heap:
             raise IndexError("pop() on an empty event loop")
-        return heapq.heappop(self._heap)[2]
+        event = heapq.heappop(self._heap)[3]
+        self._pending.discard(event.seq)
+        return event
 
     def dispatch(self, event: Event, at: float | None = None) -> None:
         """Advance the clock and invoke the handler.
@@ -148,33 +251,65 @@ class EventLoop:
         self.n_dispatched += 1
         event.handler(t, event.payload)
 
+    def _dispatch_next(self) -> None:
+        """Pop and dispatch one event, honoring attached sources."""
+        event = self.pop()
+        if event.source is None and self._sources:
+            at = event.time
+            for source in self._sources:
+                source.advance_to(event.time)
+                at = max(at, source.now)
+            self.dispatch(event, at=at)
+        else:
+            self.dispatch(event)
+
     # ------------------------------------------------------------------
     def run(self, substrate: Steppable | None = None,
             max_steps: int = 50_000_000) -> int:
         """Dispatch until the loop (and substrate, if any) is idle.
 
-        Interleaving contract (identical to the pre-``repro.sim``
-        runner loop): while the substrate has work and its clock trails
-        the next event, it steps; otherwise the next event is popped,
-        the substrate's clock is advanced to the event time, and the
-        handler runs at ``max(event.time, substrate.now)``.
+        Without ``substrate`` this drains the heap; attached sources
+        (see :meth:`attach`) get the advance/clamp treatment per
+        external event, and their step events — kept armed by a
+        :class:`~repro.sim.driver.StepDriver` — interleave by ordinary
+        ``(time, rank, seq)`` order. If a source still has work when
+        the heap drains, its wake protocol is broken and a
+        ``RuntimeError`` is raised rather than silently stranding work.
+
+        With ``substrate`` the legacy polling contract applies
+        (identical to the pre-``repro.sim`` runner loop): while the
+        substrate has work and its clock trails the next event, it
+        steps; otherwise the next event is popped, the substrate's
+        clock is advanced to the event time, and the handler runs at
+        ``max(event.time, substrate.now)``.
 
         Returns the number of dispatches + substrate steps; raises
         ``RuntimeError`` past ``max_steps`` (a diverging simulation).
         """
         steps = 0
         if substrate is None:
-            while self._heap:
-                self.dispatch(self.pop())
+            while self._pending:
+                self._dispatch_next()
                 steps = self._bump(steps, max_steps)
+            for source in self._sources:
+                if source.has_work():
+                    raise RuntimeError(
+                        f"event loop drained but source {source!r} still "
+                        "has work — its wake protocol lost an admission"
+                    )
             return steps
-        while self._heap or substrate.has_work():
+        if self._sources:
+            raise ValueError(
+                "run(substrate=...) cannot be combined with attached "
+                "sources; use StepDriver for event-driven stepping"
+            )
+        while self._pending or substrate.has_work():
             next_t = self.peek_time()
             if substrate.has_work() and substrate.now < next_t:
                 substrate.step()
                 steps = self._bump(steps, max_steps)
                 continue
-            if self._heap:
+            if self._pending:
                 event = self.pop()
                 substrate.advance_to(event.time)
                 self.dispatch(event, at=substrate.now)

@@ -2,8 +2,24 @@
 
 import pytest
 
-from repro.cli import build_policy, main, make_parser, parse_config_label
+from repro.cli import (
+    build_policy,
+    main,
+    make_parser,
+    parse_config_label,
+    parse_replica_speeds,
+)
 from repro.config.knobs import RAGConfig, SynthesisMethod
+
+
+class TestParseReplicaSpeeds:
+    def test_parses_multipliers(self):
+        assert parse_replica_speeds("1.0,0.5") == [1.0, 0.5]
+        assert parse_replica_speeds("2") == [2.0]
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValueError, match="comma-separated numbers"):
+            parse_replica_speeds("1.0,fast")
 
 
 class TestParseConfigLabel:
@@ -71,6 +87,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "2 replicas, round-robin router" in out
         assert "Per-replica serving stats" in out
+
+    def test_run_command_with_replica_speeds(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "12", "--rate", "8.0",
+            "--replicas", "2", "--router", "least-outstanding",
+            "--replica-speeds", "1.0,0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[speeds 1,0.5]" in out
+        assert "Per-replica serving stats" in out
+        assert "wakeups" in out
+
+    def test_replica_speeds_length_mismatch_fails_fast(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--replicas", "2", "--replica-speeds", "1.0,0.5,0.25",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "3 entries" in err and "n_replicas is 2" in err
+
+    def test_replica_speeds_parse_error_reported(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--replicas", "2", "--replica-speeds", "1.0;0.5",
+        ])
+        assert code == 2
+        assert "comma-separated numbers" in capsys.readouterr().err
 
     def test_parser_rejects_unknown_router(self):
         with pytest.raises(SystemExit):

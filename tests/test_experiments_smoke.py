@@ -71,6 +71,31 @@ def test_fig11_replica_sweep_fast():
     assert any("1→2 replicas" in note for note in report.notes)
 
 
+@pytest.mark.tier2
+def test_fig11_hetero_fast():
+    """Acceptance bar: on a 1.0x/0.5x two-replica fleet, the load-aware
+    least-outstanding router sends measurably more queries to the fast
+    replica than round-robin's even split (ISSUE 3 criterion)."""
+    from repro.experiments import fig11_hetero
+
+    report = fig11_hetero.run(fast=True)
+    share = {(r["system"], r["router"]): r["fast_replica_share"]
+             for r in report.rows}
+    rr = share[("vLLM(fixed)", "round-robin")]
+    lo = share[("vLLM(fixed)", "least-outstanding")]
+    assert rr == pytest.approx(0.5, abs=0.05)  # load-blind: even split
+    assert lo > rr + 0.05, (
+        f"least-outstanding fast share {lo:.2f} not measurably above "
+        f"round-robin's {rr:.2f}"
+    )
+    # Load-awareness must buy throughput, not just skew placement.
+    tp = {(r["system"], r["router"]): r["throughput_qps"]
+          for r in report.rows}
+    assert tp[("vLLM(fixed)", "least-outstanding")] > \
+        tp[("vLLM(fixed)", "round-robin")]
+    assert report.notes
+
+
 @pytest.mark.slow
 def test_fig19_fast():
     report = fig19_lowload.run(fast=True)
