@@ -1,0 +1,59 @@
+"""Shard-sweep benchmark for the scatter-gather retrieval subsystem.
+
+Replays the ``fig_retrieval_scaling`` sweep (K ∈ {1, 2, 4, 8} index
+shards, one search executor each, retrieval-bound load) and writes a
+JSON artifact — simulated queries/sec and p99 scatter-gather latency
+vs K — next to ``bench_cluster_events.json`` so retrieval-layer
+regressions are diffable across runs. Runs under plain pytest (no
+pytest-benchmark dependency) so the CI ``--fast`` smoke job can
+execute it on a bare ``numpy + pytest`` install.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import fig_retrieval_scaling
+
+from conftest import FAST, write_artifact
+
+
+def test_retrieval_shard_sweep():
+    start = time.perf_counter()
+    report = fig_retrieval_scaling.run(fast=FAST)
+    wall_seconds = time.perf_counter() - start
+
+    swept = [r for r in report.rows if r["reranker"] == "off"]
+    assert [r["shards"] for r in swept] == list(
+        fig_retrieval_scaling.SHARD_SWEEP)
+
+    # The two opposing forces that make K a real knob: per-shard queue
+    # delay falls monotonically with K, gather overhead rises.
+    queue = [r["mean_shard_queue_delay_s"] for r in swept]
+    gather = [r["mean_gather_s"] for r in swept]
+    assert all(a > b for a, b in zip(queue, queue[1:])), queue
+    assert all(a < b for a, b in zip(gather, gather[1:])), gather
+    # Gather correctness: sharding must not change answer quality.
+    assert len({round(r["mean_f1"], 9) for r in swept}) == 1
+
+    artifact = write_artifact("retrieval_shard_sweep.json", {
+        "benchmark": "retrieval_shard_sweep",
+        "dataset": "squad",
+        "rows": [
+            {
+                "shards": r["shards"],
+                "reranker": r["reranker"],
+                "throughput_qps": r["throughput_qps"],
+                "p99_retrieval_s": r["p99_retrieval_s"],
+                "mean_retrieval_s": r["mean_retrieval_s"],
+                "mean_shard_queue_delay_s": r["mean_shard_queue_delay_s"],
+                "mean_gather_s": r["mean_gather_s"],
+            }
+            for r in report.rows
+        ],
+        "wall_seconds": wall_seconds,
+        "fast_mode": FAST,
+    })
+    print()
+    print(report.format())
+    print(f"retrieval shard sweep in {wall_seconds:.2f}s -> {artifact}")

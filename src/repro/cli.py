@@ -29,10 +29,11 @@ from repro.evaluation.reports import (
     per_replica_rows,
     resource_rows,
 )
+from repro.retrieval import INDEX_NAMES, RERANKER_NAMES
 from repro.serving.cluster import ROUTER_NAMES
 
 __all__ = ["main", "parse_config_label", "parse_replica_speeds",
-           "build_policy"]
+           "parse_shard_concurrency", "build_policy"]
 
 _EXPERIMENTS = (
     "table1", "fig4_knobs", "fig5_per_query", "fig9_confidence",
@@ -40,7 +41,7 @@ _EXPERIMENTS = (
     "fig12_breakdown", "fig13_cost",
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
-    "fig19_lowload",
+    "fig19_lowload", "fig_retrieval_scaling",
 )
 
 
@@ -56,6 +57,23 @@ def parse_replica_speeds(label: str) -> list[float]:
         raise ValueError(
             f"replica-speeds must be comma-separated numbers "
             f"(e.g. 1.0,0.5), got {label!r}"
+        ) from None
+
+
+def parse_shard_concurrency(label: str) -> list[int]:
+    """Parse ``--shard-concurrency`` (comma-separated executor counts).
+
+    >>> parse_shard_concurrency("2,2")
+    [2, 2]
+    >>> parse_shard_concurrency("4")
+    [4]
+    """
+    try:
+        return [int(part) for part in label.split(",")]
+    except ValueError:
+        raise ValueError(
+            f"shard-concurrency must be comma-separated integers "
+            f"(e.g. 2,2), got {label!r}"
         ) from None
 
 
@@ -113,6 +131,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     policy = build_policy(args.policy, bundle, args.config, args.seed)
     speeds = (parse_replica_speeds(args.replica_speeds)
               if args.replica_speeds else None)
+    shard_concurrency = None
+    if args.shard_concurrency is not None:
+        parsed = parse_shard_concurrency(args.shard_concurrency)
+        # A single value broadcasts to every shard; a list must match.
+        shard_concurrency = parsed[0] if len(parsed) == 1 else parsed
     result = run_policy(
         bundle, policy,
         rate_qps=args.rate, seed=args.seed,
@@ -122,6 +145,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retrieval_concurrency=args.retrieval_concurrency,
         closed_loop_clients=args.closed_loop_clients,
         replica_speeds=speeds,
+        retrieval_shards=args.retrieval_shards,
+        shard_concurrency=shard_concurrency,
+        reranker=args.reranker,
+        index=args.index,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
@@ -129,13 +156,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title += f" ({args.replicas} replicas, {args.router} router)"
     if speeds is not None:
         title += f" [speeds {','.join(f'{s:g}' for s in speeds)}]"
+    if args.retrieval_shards > 1:
+        title += f" [{args.retrieval_shards}-shard retrieval]"
+    if args.reranker is not None:
+        title += f" [+{args.reranker} reranker]"
     print(format_table(rows, title=title))
     if args.replicas > 1:
         print()
         print(format_table(per_replica_rows(result),
                            title="Per-replica serving stats"))
     if (args.profiler_concurrency is not None
-            or args.retrieval_concurrency is not None):
+            or args.retrieval_concurrency is not None
+            or args.retrieval_shards > 1
+            or shard_concurrency is not None
+            or args.reranker is not None):
         print()
         print(format_table(resource_rows(result),
                            title="Pipeline resource contention"))
@@ -194,7 +228,21 @@ def make_parser() -> argparse.ArgumentParser:
                           "rate limits; default unbounded)")
     run.add_argument("--retrieval-concurrency", type=int, default=None,
                      help="max in-flight vector-store searches "
+                          "(unsharded store only; default unbounded)")
+    run.add_argument("--retrieval-shards", type=int, default=1,
+                     help="partition the corpus across K index shards "
+                          "with scatter-gather search (default 1)")
+    run.add_argument("--shard-concurrency", default=None,
+                     help="per-shard search executors: one integer "
+                          "(broadcast) or a comma-separated list whose "
+                          "length must equal --retrieval-shards "
                           "(default unbounded)")
+    run.add_argument("--reranker", choices=RERANKER_NAMES, default=None,
+                     help="re-score an over-fetched candidate pool "
+                          "before synthesis (default off)")
+    run.add_argument("--index", choices=INDEX_NAMES, default="flat",
+                     help="per-shard vector index: flat (exact L2) or "
+                          "ivf (inverted-file approximation)")
     run.add_argument("--replicas", type=int, default=1,
                      help="number of serving-engine replicas (default 1)")
     run.add_argument("--router", choices=ROUTER_NAMES,

@@ -13,9 +13,15 @@ Each query traverses five explicit stages on the shared
   constant.
 * :class:`DecideStage` — configuration choice against a scheduling
   view of the (cluster) engine, including cluster-aware re-placement.
-* :class:`RetrieveStage` — vector-store search behind a second
-  ``Resource`` (finite search executors + per-search latency), so
-  retrieval-bound workloads are expressible.
+* :class:`RetrieveStage` — scatter-gather search over the store's K
+  index shards, each behind its **own** ``Resource`` (finite per-shard
+  search executors × a per-shard latency derived from the shard's
+  corpus share), so shard searches contend independently and the
+  stage's latency is the *max* over the shards a query touches, plus a
+  per-excess-candidate gather cost when K > 1.
+* :class:`RerankStage` *(optional)* — re-score the merged top-N on a
+  ``reranker`` resource at a modelled per-candidate cost before
+  synthesis (see :mod:`repro.retrieval.rerank`).
 * :class:`SynthesizeStage` — prompt building: clip chunks to the
   context budget and expand the config into a synthesis plan.
 * :class:`ServeStage` — submit the plan's LLM calls stage by stage to
@@ -27,7 +33,8 @@ Each query traverses five explicit stages on the shared
   it — no stage ever polls the engine. Completion closes the loop
   (records, feedback, closed-loop re-arrival).
 
-Determinism contract: with both resources unbounded (the default) the
+Determinism contract: with all resources unbounded, one retrieval
+shard, and no reranker (the defaults) the
 event schedule is *byte-identical* to the pre-``repro.sim`` runner —
 the profiler/retrieval completion events land at exactly the
 timestamps and tie-break ranks the old ``heapq`` closures produced.
@@ -55,26 +62,39 @@ from repro.data.types import DatasetBundle, Query
 from repro.data.workload import Arrival
 from repro.evaluation.costs import CostLedger
 from repro.llm.generation import SimulatedGenerator
+from repro.retrieval.rerank import ExactReranker
+from repro.retrieval.sharded import SearchHit, ShardedVectorStore
 from repro.serving.cluster import ClusterEngine
 from repro.serving.engine import ServingEngine
 from repro.serving.request import InferenceRequest
 from repro.sim import EventLoop, Resource, ResourceStats
 from repro.synthesis import make_synthesizer
 from repro.synthesis.plans import SynthesisPlan
-from repro.util.validation import check_positive
+from repro.util.validation import check_positive, check_shard_concurrency
 
 __all__ = [
     "PROFILER_RESOURCE",
+    "RERANK_RESOURCE",
     "RETRIEVAL_RESOURCE",
     "QueryExecution",
     "QueryPipeline",
     "QueryRecord",
+    "shard_resource_name",
     "validate_arrivals",
 ]
 
 #: Resource names as they appear in ``RunResult.resource_stats``.
 PROFILER_RESOURCE = "profiler"
 RETRIEVAL_RESOURCE = "retrieval"
+RERANK_RESOURCE = "reranker"
+
+
+def shard_resource_name(sid: int, n_shards: int) -> str:
+    """Resource name for shard ``sid``: the single shard of an
+    unsharded store keeps the historical ``"retrieval"`` name."""
+    if n_shards == 1:
+        return RETRIEVAL_RESOURCE
+    return f"{RETRIEVAL_RESOURCE}/shard{sid}"
 
 
 @dataclass(frozen=True)
@@ -105,8 +125,16 @@ class QueryRecord:
     replica: int = 0
     #: Seconds spent waiting for a profiler slot (0 when unbounded).
     profiler_queue_delay: float = 0.0
-    #: Seconds spent waiting for a retrieval slot (0 when unbounded).
+    #: Max seconds spent waiting for a shard search slot (0 unbounded).
     retrieval_queue_delay: float = 0.0
+    #: Scatter-gather stage duration: queue + max shard hold + gather.
+    retrieval_seconds: float = 0.0
+    #: Merge cost charged for candidates beyond the final top-k.
+    gather_seconds: float = 0.0
+    #: Reranker scoring hold (0 when no reranker is configured).
+    rerank_seconds: float = 0.0
+    #: Seconds spent waiting for a reranker slot.
+    rerank_queue_delay: float = 0.0
 
     @property
     def e2e_delay(self) -> float:
@@ -145,6 +173,10 @@ class QueryExecution:
     replica: int = 0
     profiler_queue_delay: float = 0.0
     retrieval_queue_delay: float = 0.0
+    retrieval_seconds: float = 0.0
+    gather_seconds: float = 0.0
+    rerank_seconds: float = 0.0
+    rerank_queue_delay: float = 0.0
 
 
 def validate_arrivals(arrivals: list[Arrival]) -> bool:
@@ -216,23 +248,104 @@ class DecideStage(_Stage):
         p.retrieve.enter(t, ex)
 
 
+@dataclass
+class _ScatterState:
+    """In-flight bookkeeping for one query's scatter-gather."""
+
+    t0: float
+    fetch_k: int
+    qvec: object
+    pending: int
+    hits: list
+    max_wait: float = 0.0
+
+
 class RetrieveStage(_Stage):
-    """Vector-store search, contended on the retrieval resource."""
+    """Scatter-gather search over the store's shards, each contended on
+    its own per-shard resource.
+
+    Scatter computes every shard's local answer up front and charges
+    each shard's hold on its resource; the query proceeds when the
+    *last* shard completes (latency = max over shards), plus a gather
+    event when merging excess candidates costs time (never at K=1, so
+    the single-shard schedule is event-for-event the pre-shard one).
+    """
 
     def enter(self, t: float, ex: QueryExecution) -> None:
         p = self.p
-        hits = p.bundle.store.search(
-            ex.query.text, ex.decision.config.num_chunks
+        store = p.store
+        k = ex.decision.config.num_chunks
+        fetch_k = p.reranker.fetch_k(k) if p.reranker else k
+        qvec = store.embed_query(ex.query.text) if len(store) else None
+        state = _ScatterState(
+            t0=t, fetch_k=fetch_k, qvec=qvec,
+            pending=store.n_shards, hits=[()] * store.n_shards,
         )
-        ex.chunk_ids = [h.chunk.chunk_id for h in hits]
-        p.retrieval.request(
-            t, p.bundle.store.retrieval_latency_s,
-            lambda now, waited: self._done(now, waited, ex),
+        for sid in range(store.n_shards):
+            found = (store.search_shard(sid, qvec, fetch_k)
+                     if qvec is not None else [])
+            p.shard_resources[sid].request(
+                t, store.shard_hold_seconds(sid),
+                lambda now, waited, sid=sid, found=found:
+                    self._shard_done(now, waited, sid, found, state, ex),
+            )
+
+    def _shard_done(self, now: float, waited: float, sid: int,
+                    found: list, state: _ScatterState,
+                    ex: QueryExecution) -> None:
+        state.hits[sid] = found
+        state.max_wait = max(state.max_wait, waited)
+        state.pending -= 1
+        if state.pending:
+            return
+        ex.retrieval_queue_delay = state.max_wait
+        store = self.p.store
+        merged = store.gather(state.hits, state.fetch_k)
+        n_candidates = sum(len(h) for h in state.hits)
+        gather_s = store.gather_seconds(n_candidates, state.fetch_k)
+        ex.gather_seconds = gather_s
+        if gather_s > 0:
+            self.p.loop.schedule(
+                now + gather_s, "gather:done",
+                lambda tt, _: self._gathered(tt, merged, state, ex),
+            )
+        else:
+            self._gathered(now, merged, state, ex)
+
+    def _gathered(self, now: float, merged: list[SearchHit],
+                  state: _ScatterState, ex: QueryExecution) -> None:
+        ex.retrieval_seconds = now - state.t0
+        p = self.p
+        if p.reranker is not None:
+            p.rerank.enter(now, ex, merged, state.qvec)
+            return
+        ex.chunk_ids = [h.chunk.chunk_id for h in merged]
+        p.synthesize.enter(now, ex)
+
+
+class RerankStage(_Stage):
+    """Re-score the merged candidate pool on the reranker resource."""
+
+    def enter(self, t: float, ex: QueryExecution,
+              candidates: list[SearchHit], qvec) -> None:
+        p = self.p
+        hold = p.reranker.hold_seconds(len(candidates))
+        ex.rerank_seconds = hold
+        p.rerank_resource.request(
+            t, hold,
+            lambda now, waited:
+                self._done(now, waited, ex, candidates, qvec),
         )
 
-    def _done(self, now: float, waited: float, ex: QueryExecution) -> None:
-        ex.retrieval_queue_delay = waited
-        self.p.synthesize.enter(now, ex)
+    def _done(self, now: float, waited: float, ex: QueryExecution,
+              candidates: list[SearchHit], qvec) -> None:
+        ex.rerank_queue_delay = waited
+        p = self.p
+        k = ex.decision.config.num_chunks
+        top = (p.reranker.rerank(p.store, qvec, candidates, k)
+               if candidates else [])
+        ex.chunk_ids = [h.chunk.chunk_id for h in top]
+        p.synthesize.enter(now, ex)
 
 
 class SynthesizeStage(_Stage):
@@ -261,7 +374,7 @@ class SynthesizeStage(_Stage):
         a production stack's prompt builder does.
         """
         engine = self.p.engine
-        chunks = [self.p.bundle.store.get(cid) for cid in ex.chunk_ids]
+        chunks = [self.p.store.get(cid) for cid in ex.chunk_ids]
         tokens = [c.n_tokens for c in chunks]
         if ex.decision.config.synthesis_method is SynthesisMethod.STUFF:
             # Slack covers the prompt template wrapper (instruction +
@@ -338,16 +451,47 @@ class QueryPipeline:
         generator: SimulatedGenerator,
         profiler_concurrency: int | None = None,
         retrieval_concurrency: int | None = None,
+        store: ShardedVectorStore | None = None,
+        shard_concurrency=None,
+        reranker: ExactReranker | None = None,
     ) -> None:
         self.bundle = bundle
         self.policy = policy
         self.engine = engine
         self.generator = generator
+        #: The (possibly resharded) store queries search; defaults to
+        #: the bundle's own single-shard store.
+        self.store = store if store is not None else bundle.store
+        self.reranker = reranker
         self.loop = EventLoop()
         self.profiler = Resource(PROFILER_RESOURCE, self.loop,
                                  profiler_concurrency)
-        self.retrieval = Resource(RETRIEVAL_RESOURCE, self.loop,
-                                  retrieval_concurrency)
+        n_shards = self.store.n_shards
+        if retrieval_concurrency is not None and n_shards > 1:
+            raise ValueError(
+                "retrieval_concurrency bounds the single executor pool "
+                f"of an unsharded store; this store has {n_shards} "
+                "shards — pass shard_concurrency instead"
+            )
+        per_shard = check_shard_concurrency(
+            "shard_concurrency", shard_concurrency, n_shards)
+        if per_shard is None:
+            # Legacy surface: ``retrieval_concurrency`` bounds the sole
+            # shard of an unsharded store.
+            per_shard = ([retrieval_concurrency] if n_shards == 1
+                         else [None] * n_shards)
+        self.shard_resources = [
+            Resource(shard_resource_name(sid, n_shards), self.loop,
+                     per_shard[sid])
+            for sid in range(n_shards)
+        ]
+        #: Legacy alias: the single retrieval resource (K=1 only).
+        self.retrieval = (self.shard_resources[0]
+                          if n_shards == 1 else None)
+        self.rerank_resource = (
+            Resource(RERANK_RESOURCE, self.loop, None)
+            if reranker is not None else None
+        )
         self.ledger = CostLedger()
         #: StepDriver wiring the engine onto the loop (set by ``run``).
         self.driver = None
@@ -358,6 +502,7 @@ class QueryPipeline:
         self.profile = ProfileStage(self)
         self.decide = DecideStage(self)
         self.retrieve = RetrieveStage(self)
+        self.rerank = RerankStage(self)
         self.synthesize = SynthesizeStage(self)
         self.serve = ServeStage(self)
 
@@ -427,6 +572,10 @@ class QueryPipeline:
             replica=ex.replica,
             profiler_queue_delay=ex.profiler_queue_delay,
             retrieval_queue_delay=ex.retrieval_queue_delay,
+            retrieval_seconds=ex.retrieval_seconds,
+            gather_seconds=ex.gather_seconds,
+            rerank_seconds=ex.rerank_seconds,
+            rerank_queue_delay=ex.rerank_queue_delay,
         )
         self.records.append(record)
         if isinstance(self.engine, ClusterEngine):
@@ -440,10 +589,12 @@ class QueryPipeline:
     # Helpers shared by stages
     # ------------------------------------------------------------------
     def resource_stats(self) -> dict[str, ResourceStats]:
-        return {
-            PROFILER_RESOURCE: self.profiler.stats,
-            RETRIEVAL_RESOURCE: self.retrieval.stats,
-        }
+        stats = {PROFILER_RESOURCE: self.profiler.stats}
+        for resource in self.shard_resources:
+            stats[resource.name] = resource.stats
+        if self.rerank_resource is not None:
+            stats[RERANK_RESOURCE] = self.rerank_resource.stats
+        return stats
 
     def synthesizer(self, config: RAGConfig):
         method = config.synthesis_method

@@ -12,7 +12,8 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 __all__ = ["format_table", "format_ratio", "Reporter",
-           "per_replica_rows", "cluster_summary", "resource_rows"]
+           "per_replica_rows", "cluster_summary", "resource_rows",
+           "retrieval_shard_rows"]
 
 
 def _fmt(value) -> str:
@@ -157,6 +158,38 @@ def resource_rows(result) -> list[dict]:
             mean_queue_delay_s=stats.mean_queue_delay,
             max_queue_delay_s=stats.max_queue_delay,
             peak_queue_len=stats.peak_queue_len,
+        ))
+    return rows
+
+
+def retrieval_shard_rows(result) -> list[dict]:
+    """One row per retrieval shard (plus the reranker when present).
+
+    The retrieval-focused slice of :func:`resource_rows`: for a
+    sharded store each ``retrieval/shardN`` resource gets a row with a
+    parsed ``shard`` column, so per-shard utilization and queue delay
+    are directly comparable across K in scaling sweeps. The unsharded
+    ``retrieval`` resource and the ``reranker`` render with
+    ``shard='-'``.
+    """
+    rows: list[dict] = []
+    for row in resource_rows(result):
+        name = row["resource"]
+        if not (name == "retrieval" or name.startswith("retrieval/")
+                or name == "reranker"):
+            continue
+        shard = (int(name.split("/shard", 1)[1])
+                 if "/shard" in name else "-")
+        rows.append(dict(
+            resource=name,
+            shard=shard,
+            concurrency=row["concurrency"],
+            requests=row["requests"],
+            utilization=row["utilization"],
+            queued_fraction=row["queued_fraction"],
+            mean_queue_delay_s=row["mean_queue_delay_s"],
+            max_queue_delay_s=row["max_queue_delay_s"],
+            peak_queue_len=row["peak_queue_len"],
         ))
     return rows
 

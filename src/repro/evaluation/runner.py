@@ -30,10 +30,15 @@ from repro.evaluation.costs import CostLedger
 from repro.evaluation.pipeline import QueryPipeline, QueryRecord
 from repro.llm.generation import SimulatedGenerator
 from repro.llm.quality import QualityModel, QualityParams
+from repro.retrieval.rerank import ExactReranker, make_reranker
 from repro.serving.cluster import ClusterEngine
 from repro.serving.engine import EngineConfig, EngineStats, ServingEngine
 from repro.sim import ResourceStats
-from repro.util.validation import check_positive
+from repro.util.validation import (
+    check_positive,
+    check_shard_concurrency,
+    check_shard_count,
+)
 
 #: ``QueryRecord`` is defined next to the pipeline that emits it and
 #: re-exported here, its historical import location.
@@ -55,8 +60,13 @@ class RunResult:
     #: Per-replica speed multipliers (parallel to ``replica_stats``).
     replica_speeds: list[float] = field(default_factory=list)
     #: Contended-resource counters keyed by resource name
-    #: (``profiler`` / ``retrieval``).
+    #: (``profiler``, ``retrieval`` or ``retrieval/shardN``, and
+    #: ``reranker`` when one is configured).
     resource_stats: dict[str, ResourceStats] = field(default_factory=dict)
+    #: How many index shards served retrieval (1 = unsharded).
+    n_retrieval_shards: int = 1
+    #: Name of the configured reranker (``None`` when disabled).
+    reranker: str | None = None
 
     # ------------------------------------------------------------------
     def _delays(self) -> np.ndarray:
@@ -96,6 +106,26 @@ class RunResult:
         return float(np.mean([r.profiler_queue_delay for r in self.records]))
 
     @property
+    def mean_retrieval_seconds(self) -> float:
+        """Mean scatter-gather stage duration (queue + hold + gather)."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.retrieval_seconds for r in self.records]))
+
+    @property
+    def mean_gather_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.gather_seconds for r in self.records]))
+
+    def retrieval_percentile(self, q: float) -> float:
+        """Percentile of the per-query scatter-gather duration."""
+        if not self.records:
+            return 0.0
+        return float(np.percentile(
+            [r.retrieval_seconds for r in self.records], q))
+
+    @property
     def total_dollars(self) -> float:
         return self.ledger.total_dollars
 
@@ -127,6 +157,19 @@ class ExperimentRunner:
     :attr:`RunResult.resource_stats` and the per-query
     ``profiler_queue_delay`` / ``retrieval_queue_delay`` fields.
 
+    ``retrieval_shards`` partitions the bundle's corpus across K index
+    shards (deterministic hash placement); each shard search contends
+    on its own resource, bounded per shard by ``shard_concurrency`` (a
+    single int broadcast to every shard, or one entry per shard — a
+    length mismatch fails fast with both counts).
+    ``retrieval_concurrency`` keeps its legacy meaning — the sole
+    executor pool of an *unsharded* store — so combining it with
+    ``retrieval_shards > 1`` (or with ``shard_concurrency``) is
+    rejected rather than silently reinterpreted. ``reranker``
+    (``"exact"`` or an instance) re-scores an over-fetched candidate
+    pool at modelled per-candidate cost; ``index`` picks the per-shard
+    index factory (``"flat"`` exact / ``"ivf"`` approximate).
+
     ``replica_speeds`` makes the fleet heterogeneous: one hardware-
     throughput multiplier per replica (replicas advance independently
     on the event loop, so a 0.5× replica simply takes 2× as long per
@@ -147,12 +190,43 @@ class ExperimentRunner:
         profiler_concurrency: int | None = None,
         retrieval_concurrency: int | None = None,
         replica_speeds: list[float] | None = None,
+        retrieval_shards: int = 1,
+        shard_concurrency=None,
+        reranker: str | ExactReranker | None = None,
+        index: str = "flat",
     ) -> None:
         check_positive("n_replicas", n_replicas)
         if profiler_concurrency is not None:
             check_positive("profiler_concurrency", profiler_concurrency)
         if retrieval_concurrency is not None:
             check_positive("retrieval_concurrency", retrieval_concurrency)
+        self.retrieval_shards = check_shard_count(
+            "retrieval_shards", retrieval_shards)
+        self.shard_concurrency = check_shard_concurrency(
+            "shard_concurrency", shard_concurrency, self.retrieval_shards)
+        if retrieval_concurrency is not None and self.retrieval_shards > 1:
+            raise ValueError(
+                "retrieval_concurrency bounds the single executor pool "
+                "of an unsharded store; with retrieval_shards="
+                f"{self.retrieval_shards} pass shard_concurrency "
+                "(per-shard executor counts) instead — got "
+                f"retrieval_concurrency={retrieval_concurrency}"
+            )
+        if (retrieval_concurrency is not None
+                and self.shard_concurrency is not None):
+            raise ValueError(
+                "pass either retrieval_concurrency (unsharded) or "
+                "shard_concurrency (per shard), not both — got "
+                f"retrieval_concurrency={retrieval_concurrency} and "
+                f"shard_concurrency={shard_concurrency!r}"
+            )
+        self.reranker = make_reranker(reranker)
+        store = bundle.store
+        if (self.retrieval_shards != store.n_shards
+                or index != store.index_label):
+            store = store.reshard(self.retrieval_shards,
+                                  index_factory=index)
+        self.store = store
         if replica_speeds is not None:
             speeds = [float(s) for s in replica_speeds]
             if len(speeds) != int(n_replicas):
@@ -210,6 +284,9 @@ class ExperimentRunner:
             generator=self.generator,
             profiler_concurrency=self.profiler_concurrency,
             retrieval_concurrency=self.retrieval_concurrency,
+            store=self.store,
+            shard_concurrency=self.shard_concurrency,
+            reranker=self.reranker,
         )
         pipeline.run(arrivals, closed_loop_clients=closed_loop_clients)
 
@@ -233,6 +310,8 @@ class ExperimentRunner:
             replica_stats=replica_stats,
             replica_speeds=replica_speeds,
             resource_stats=pipeline.resource_stats(),
+            n_retrieval_shards=self.store.n_shards,
+            reranker=self.reranker.name if self.reranker else None,
         )
 
     # ------------------------------------------------------------------

@@ -189,6 +189,10 @@ def run_policy(
     retrieval_concurrency: int | None = None,
     closed_loop_clients: int = 1,
     replica_speeds: list[float] | None = None,
+    retrieval_shards: int = 1,
+    shard_concurrency=None,
+    reranker=None,
+    index: str = "flat",
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
@@ -199,7 +203,11 @@ def run_policy(
     ``profiler_concurrency`` / ``retrieval_concurrency`` make the
     profiler API and the vector store contended FIFO resources (see
     :mod:`repro.sim`); ``closed_loop_clients`` sets how many queries a
-    ``sequential`` workload keeps outstanding.
+    ``sequential`` workload keeps outstanding. ``retrieval_shards`` /
+    ``shard_concurrency`` / ``reranker`` / ``index`` configure the
+    scatter-gather retrieval subsystem (see
+    :mod:`repro.retrieval.sharded` and
+    :class:`~repro.evaluation.runner.ExperimentRunner`).
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     if sequential:
@@ -217,6 +225,10 @@ def run_policy(
         profiler_concurrency=profiler_concurrency,
         retrieval_concurrency=retrieval_concurrency,
         replica_speeds=replica_speeds,
+        retrieval_shards=retrieval_shards,
+        shard_concurrency=shard_concurrency,
+        reranker=reranker,
+        index=index,
     )
     return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 

@@ -2,21 +2,44 @@
 
 Stands in for the paper's Cohere-embed-v3 + FAISS ``IndexFlatL2``
 pipeline with a deterministic hashed bag-of-tokens embedder and exact
-numpy L2 search (plus an IVF variant for larger corpora).
+numpy L2 search (plus an IVF variant for larger corpora). The store is
+a K-shard scatter-gather subsystem (:class:`ShardedVectorStore`) with
+pluggable per-shard indexes (:data:`INDEX_FACTORIES`) and an optional
+reranker (:mod:`repro.retrieval.rerank`); :class:`VectorStore` is its
+single-shard configuration.
 """
 
 from repro.retrieval.chunker import Chunk, split_into_chunks
 from repro.retrieval.embedding import EmbeddingModel, HashedEmbedding
-from repro.retrieval.index import FlatL2Index, IVFFlatIndex
-from repro.retrieval.store import SearchHit, VectorStore
+from repro.retrieval.index import (
+    INDEX_FACTORIES,
+    INDEX_NAMES,
+    AutoTrainedIVFIndex,
+    FlatL2Index,
+    IVFFlatIndex,
+)
+from repro.retrieval.rerank import (
+    RERANKER_NAMES,
+    ExactReranker,
+    make_reranker,
+)
+from repro.retrieval.sharded import SearchHit, ShardedVectorStore
+from repro.retrieval.store import VectorStore
 
 __all__ = [
+    "AutoTrainedIVFIndex",
     "Chunk",
     "EmbeddingModel",
+    "ExactReranker",
     "FlatL2Index",
     "HashedEmbedding",
+    "INDEX_FACTORIES",
+    "INDEX_NAMES",
     "IVFFlatIndex",
+    "RERANKER_NAMES",
     "SearchHit",
+    "ShardedVectorStore",
     "VectorStore",
+    "make_reranker",
     "split_into_chunks",
 ]

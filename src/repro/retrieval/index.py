@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["FlatL2Index", "IVFFlatIndex"]
+__all__ = [
+    "AutoTrainedIVFIndex",
+    "FlatL2Index",
+    "INDEX_FACTORIES",
+    "INDEX_NAMES",
+    "IVFFlatIndex",
+]
 
 
 def _as_matrix(vectors: np.ndarray, dim: int, name: str) -> np.ndarray:
@@ -177,3 +183,33 @@ class IVFFlatIndex:
             out_d[row, :n] = d2[order]
             out_i[row, :n] = cand[order]
         return out_d, out_i
+
+
+class AutoTrainedIVFIndex(IVFFlatIndex):
+    """IVF index that trains its coarse quantiser on the first ``add``.
+
+    FAISS requires an explicit ``train`` before ``add``; a store shard
+    receives its vectors in whatever batches placement produces, so
+    this variant trains itself on the first batch, clamping ``nlist``
+    (and ``nprobe``) to the batch size when the shard is small. Later
+    batches reuse the fitted quantiser, exactly as in FAISS.
+    """
+
+    def add(self, vectors: np.ndarray) -> None:
+        if not self.is_trained:
+            arr = _as_matrix(vectors, self.dim, "vectors")
+            self.nlist = max(1, min(self.nlist, arr.shape[0]))
+            self.nprobe = max(1, min(self.nprobe, self.nlist))
+            self.train(arr)
+            super().add(arr)
+            return
+        super().add(vectors)
+
+
+#: Named per-shard index constructors (``dim -> index``) selectable via
+#: the CLI ``--index`` flag and ``ShardedVectorStore(index_factory=...)``.
+INDEX_FACTORIES = {
+    "flat": FlatL2Index,
+    "ivf": AutoTrainedIVFIndex,
+}
+INDEX_NAMES = tuple(sorted(INDEX_FACTORIES))

@@ -1,88 +1,52 @@
 """Vector store: chunks + embeddings + index behind one search API.
 
-This is the "vector database" box of the paper's Fig 6: it owns the
-chunk texts, their embeddings, and a FAISS-style index, and answers
-``search(query_text, k)`` with ranked chunks. Retrieval latency is
-modelled as a small constant — the paper notes retrieval is >100×
-faster than synthesis, so it never dominates.
+This is the "vector database" box of the paper's Fig 6. The heavy
+lifting now lives in :class:`~repro.retrieval.sharded.ShardedVectorStore`
+— a K-shard scatter-gather subsystem with deterministic hash placement
+and a per-shard timing model. :class:`VectorStore` is the single-shard
+(K=1) configuration of it, kept as the historical construction surface
+(datasets build one; callers see the same ``add_chunks`` / ``get`` /
+``search`` API and the same ``retrieval_latency_s`` constant as before
+the refactor, bit-for-bit — the K=1 path neither re-sorts results nor
+recomputes the latency constant).
+
+The index backing each shard is pluggable: pass ``index_factory``
+(``"flat"`` exact L2 — the default and the paper's FAISS
+``IndexFlatL2`` — or ``"ivf"`` for the inverted-file approximation, or
+any ``dim -> index`` callable).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Callable
 
-import numpy as np
-
-from repro.retrieval.chunker import Chunk
-from repro.retrieval.embedding import EmbeddingModel, HashedEmbedding
-from repro.retrieval.index import FlatL2Index
+from repro.retrieval.embedding import EmbeddingModel
+from repro.retrieval.sharded import SearchHit, ShardedVectorStore
 
 __all__ = ["SearchHit", "VectorStore"]
 
 
-@dataclass(frozen=True)
-class SearchHit:
-    """One retrieved chunk with its distance and rank."""
-
-    chunk: Chunk
-    distance: float
-    rank: int
-
-
-class VectorStore:
-    """Embeds and indexes chunks; answers top-k queries.
+class VectorStore(ShardedVectorStore):
+    """Single-shard vector store (the pre-sharding construction API).
 
     Args:
-        embedding: pluggable embedder (defaults to the 256-d hashed
+        embedding: pluggable embedder (defaults to the 512-d hashed
             embedder standing in for Cohere-embed-v3).
         retrieval_latency_s: simulated wall-clock cost of one search,
-            charged by the runner (not by this class).
+            charged by the pipeline (not by this class).
+        index_factory: per-shard index constructor or registry name
+            (``"flat"`` / ``"ivf"``); defaults to exact ``FlatL2Index``.
     """
 
     def __init__(
         self,
         embedding: EmbeddingModel | None = None,
         retrieval_latency_s: float = 0.004,
+        index_factory: str | Callable | None = None,
     ) -> None:
-        self.embedding = embedding or HashedEmbedding()
-        self.retrieval_latency_s = retrieval_latency_s
-        self.index = FlatL2Index(self.embedding.dim)
-        self._chunks: list[Chunk] = []
-        self._by_id: dict[str, Chunk] = {}
-
-    def __len__(self) -> int:
-        return len(self._chunks)
-
-    def add_chunks(self, chunks: list[Chunk]) -> None:
-        """Embed and index a batch of chunks."""
-        if not chunks:
-            return
-        for chunk in chunks:
-            if chunk.chunk_id in self._by_id:
-                raise ValueError(f"duplicate chunk_id: {chunk.chunk_id}")
-        vectors = self.embedding.embed_batch([c.text for c in chunks])
-        self.index.add(vectors)
-        self._chunks.extend(chunks)
-        for chunk in chunks:
-            self._by_id[chunk.chunk_id] = chunk
-
-    def get(self, chunk_id: str) -> Chunk:
-        """Look up a chunk by id (KeyError when absent)."""
-        return self._by_id[chunk_id]
-
-    def search(self, query_text: str, k: int) -> list[SearchHit]:
-        """Return the ``k`` nearest chunks to ``query_text``."""
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        if not self._chunks:
-            return []
-        query_vec = self.embedding.embed(query_text)
-        distances, indices = self.index.search(
-            query_vec.reshape(1, -1), min(k, len(self._chunks))
+        super().__init__(
+            n_shards=1,
+            embedding=embedding,
+            retrieval_latency_s=retrieval_latency_s,
+            index_factory=index_factory,
         )
-        hits: list[SearchHit] = []
-        for rank, (dist, idx) in enumerate(zip(distances[0], indices[0])):
-            if idx < 0 or not np.isfinite(dist):
-                break
-            hits.append(SearchHit(self._chunks[int(idx)], float(dist), rank))
-        return hits

@@ -11,6 +11,8 @@ __all__ = [
     "check_non_negative",
     "check_probability",
     "check_in_range",
+    "check_shard_count",
+    "check_shard_concurrency",
 ]
 
 
@@ -40,3 +42,48 @@ def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
     if not lo <= value <= hi:
         raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
     return value
+
+
+def check_shard_count(name: str, value) -> int:
+    """Require an integral shard count >= 1; return it as ``int``."""
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be an integer >= 1, got {value!r}"
+        ) from None
+    if as_int != value or as_int < 1:
+        raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
+    return as_int
+
+
+def check_shard_concurrency(name: str, value, n_shards: int):
+    """Normalise a shard-concurrency spec to one entry per shard.
+
+    Accepts ``None`` (unbounded everywhere, returned as ``None``), a
+    single positive int (broadcast to every shard), or a sequence of
+    per-shard entries (each a positive int, or ``None`` for an
+    unbounded shard) whose length must equal ``n_shards`` — a mismatch
+    fails fast with both counts, mirroring the ``replica_speeds``
+    length check, rather than silently recycling or truncating.
+    """
+    if value is None:
+        return None
+    if isinstance(value, int) and not isinstance(value, bool):
+        check_positive(name, value)
+        return [int(value)] * int(n_shards)
+    entries = list(value)
+    if len(entries) != int(n_shards):
+        raise ValueError(
+            f"{name} has {len(entries)} entries but retrieval_shards is "
+            f"{int(n_shards)}; pass exactly one concurrency per shard "
+            "(e.g. --shard-concurrency 2,2 with --retrieval-shards 2)"
+        )
+    out = []
+    for i, entry in enumerate(entries):
+        if entry is None:
+            out.append(None)
+            continue
+        check_positive(f"{name}[{i}]", entry)
+        out.append(int(entry))
+    return out

@@ -8,6 +8,7 @@ from repro.cli import (
     make_parser,
     parse_config_label,
     parse_replica_speeds,
+    parse_shard_concurrency,
 )
 from repro.config.knobs import RAGConfig, SynthesisMethod
 
@@ -20,6 +21,16 @@ class TestParseReplicaSpeeds:
     def test_rejects_non_numeric(self):
         with pytest.raises(ValueError, match="comma-separated numbers"):
             parse_replica_speeds("1.0,fast")
+
+
+class TestParseShardConcurrency:
+    def test_parses_lists_and_singletons(self):
+        assert parse_shard_concurrency("2,2") == [2, 2]
+        assert parse_shard_concurrency("4") == [4]
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError, match="comma-separated integers"):
+            parse_shard_concurrency("2,many")
 
 
 class TestParseConfigLabel:
@@ -119,6 +130,62 @@ class TestCommands:
         ])
         assert code == 2
         assert "comma-separated numbers" in capsys.readouterr().err
+
+    def test_run_command_with_retrieval_shards(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "10", "--rate", "2.0",
+            "--retrieval-shards", "4", "--shard-concurrency", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[4-shard retrieval]" in out
+        assert "retrieval/shard0" in out and "retrieval/shard3" in out
+
+    def test_run_command_with_reranker_and_ivf(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "8", "--rate", "2.0",
+            "--retrieval-shards", "2", "--reranker", "exact",
+            "--index", "ivf",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[+exact reranker]" in out
+        # The reranker resource renders its own contention-table row.
+        assert any(line.startswith("reranker")
+                   for line in out.splitlines())
+
+    def test_shard_concurrency_length_mismatch_fails_fast(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--retrieval-shards", "2", "--shard-concurrency", "1,2,3",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "3 entries" in err and "retrieval_shards is 2" in err
+
+    def test_retrieval_concurrency_conflict_fails_fast(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--retrieval-shards", "2", "--retrieval-concurrency", "4",
+        ])
+        assert code == 2
+        assert "shard_concurrency" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_index_and_reranker(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([
+                "run", "--dataset", "squad", "--policy", "metis",
+                "--index", "hnsw",
+            ])
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([
+                "run", "--dataset", "squad", "--policy", "metis",
+                "--reranker", "cross-encoder",
+            ])
 
     def test_parser_rejects_unknown_router(self):
         with pytest.raises(SystemExit):

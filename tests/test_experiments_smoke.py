@@ -96,6 +96,38 @@ def test_fig11_hetero_fast():
     assert report.notes
 
 
+def test_fig_retrieval_scaling_fast():
+    """Acceptance bar (ISSUE 4): sweeping K shards shows per-shard
+    queue delay falling and gather overhead rising, with the pinned
+    headline — scaling turns over at K=8, so K=4 is the optimum (the
+    shard count past which gather/rerank overhead exceeds the
+    per-shard search savings)."""
+    from repro.experiments import fig_retrieval_scaling
+
+    report = fig_retrieval_scaling.run(fast=True)
+    swept = [r for r in report.rows if r["reranker"] == "off"]
+    assert [r["shards"] for r in swept] == [1, 2, 4, 8]
+
+    queue = [r["mean_shard_queue_delay_s"] for r in swept]
+    gather = [r["mean_gather_s"] for r in swept]
+    assert all(a > b for a, b in zip(queue, queue[1:])), queue
+    assert all(a < b for a, b in zip(gather, gather[1:])), gather
+
+    # Pinned headline: the curve bottoms at K=4 and turns over at K=8.
+    retrieval = {r["shards"]: r["mean_retrieval_s"] for r in swept}
+    assert min(retrieval, key=retrieval.get) == 4
+    assert retrieval[8] > retrieval[4]
+    assert any("turnover at K=8" in note for note in report.notes)
+    assert any("best shard count K=4" in note for note in report.notes)
+
+    # Sharding must not move quality (exact index, gather-correct).
+    assert len({round(r["mean_f1"], 9) for r in report.rows}) == 1
+    # The reranker comparison row prices its overhead at the optimum.
+    reranked = [r for r in report.rows if r["reranker"] == "exact"]
+    assert len(reranked) == 1 and reranked[0]["shards"] == 4
+    assert reranked[0]["mean_rerank_s"] > 0
+
+
 @pytest.mark.slow
 def test_fig19_fast():
     report = fig19_lowload.run(fast=True)

@@ -17,6 +17,7 @@ from repro.util import (
     format_tokens,
     stream,
 )
+from repro.util.validation import check_shard_concurrency, check_shard_count
 
 
 class TestDeriveSeed:
@@ -107,3 +108,36 @@ class TestValidation:
         assert check_in_range("v", 5, 0, 10) == 5
         with pytest.raises(ValueError):
             check_in_range("v", 11, 0, 10)
+
+
+class TestShardValidation:
+    def test_shard_count_accepts_integral(self):
+        assert check_shard_count("k", 4) == 4
+        assert check_shard_count("k", 4.0) == 4
+
+    def test_shard_count_rejects_bad_values(self):
+        for bad in (0, -1, 1.5, "four", None):
+            with pytest.raises(ValueError, match="k must be an integer"):
+                check_shard_count("k", bad)
+
+    def test_shard_concurrency_none_passthrough(self):
+        assert check_shard_concurrency("sc", None, 4) is None
+
+    def test_shard_concurrency_broadcasts_int(self):
+        assert check_shard_concurrency("sc", 2, 3) == [2, 2, 2]
+
+    def test_shard_concurrency_list_with_unbounded_entries(self):
+        assert check_shard_concurrency("sc", [1, None, 3], 3) == [1, None, 3]
+
+    def test_shard_concurrency_length_mismatch_names_counts(self):
+        with pytest.raises(ValueError,
+                           match="2 entries but retrieval_shards is 4"):
+            check_shard_concurrency("sc", [1, 2], 4)
+
+    def test_shard_concurrency_bad_entry_names_index(self):
+        with pytest.raises(ValueError, match=r"sc\[1\] must be > 0"):
+            check_shard_concurrency("sc", [1, -2], 2)
+
+    def test_shard_concurrency_rejects_nonpositive_scalar(self):
+        with pytest.raises(ValueError, match="sc must be > 0"):
+            check_shard_concurrency("sc", 0, 2)
