@@ -28,9 +28,11 @@ from repro.evaluation.reports import (
     format_table,
     per_replica_rows,
     resource_rows,
+    speculation_rows,
 )
 from repro.retrieval import INDEX_NAMES, RERANKER_NAMES
 from repro.serving.cluster import ROUTER_NAMES
+from repro.serving.speculation import SPECULATION_NAMES
 
 __all__ = ["main", "parse_config_label", "parse_replica_speeds",
            "parse_shard_concurrency", "build_policy"]
@@ -41,7 +43,7 @@ _EXPERIMENTS = (
     "fig12_breakdown", "fig13_cost",
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
-    "fig19_lowload", "fig_retrieval_scaling",
+    "fig19_lowload", "fig_retrieval_scaling", "fig_speculation",
 )
 
 
@@ -149,6 +151,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shard_concurrency=shard_concurrency,
         reranker=args.reranker,
         index=args.index,
+        slo_seconds=args.slo_seconds,
+        speculation=args.speculation,
+        hedge_delay=args.hedge_delay,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
@@ -160,11 +165,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title += f" [{args.retrieval_shards}-shard retrieval]"
     if args.reranker is not None:
         title += f" [+{args.reranker} reranker]"
+    if args.speculation != "none":
+        title += f" [{args.speculation} speculation]"
     print(format_table(rows, title=title))
     if args.replicas > 1:
         print()
         print(format_table(per_replica_rows(result),
                            title="Per-replica serving stats"))
+    if args.speculation != "none" or args.slo_seconds is not None:
+        print()
+        print(format_table(speculation_rows(result),
+                           title="Speculative scheduling"))
     if (args.profiler_concurrency is not None
             or args.retrieval_concurrency is not None
             or args.retrieval_shards > 1
@@ -253,6 +264,19 @@ def make_parser() -> argparse.ArgumentParser:
                      help="comma-separated per-replica speed "
                           "multipliers, e.g. 1.0,0.5 (length must "
                           "equal --replicas; default: homogeneous)")
+    run.add_argument("--slo-seconds", type=float, default=None,
+                     help="per-query SLO: each query's deadline is "
+                          "arrival + SLO (reported as attainment; "
+                          "required by deadline-risk speculation)")
+    run.add_argument("--speculation", choices=SPECULATION_NAMES,
+                     default="none",
+                     help="speculative hedging policy: duplicate "
+                          "at-risk queries onto a second replica and "
+                          "cancel the loser (default none)")
+    run.add_argument("--hedge-delay", type=float, default=None,
+                     help="hedge-after-delay timer in seconds "
+                          "(default: half the SLO when --slo-seconds "
+                          "is set)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

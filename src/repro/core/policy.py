@@ -93,6 +93,12 @@ class ClusterSchedulingView(SchedulingView):
     #: Per-replica hardware-throughput multipliers (heterogeneous
     #: fleets); empty or all-1.0 for homogeneous clusters.
     replica_speeds: tuple[float, ...] = ()
+    #: Per-replica outstanding-request counts (waiting + running) at
+    #: the decision instant — the queue-depth signal the deadline-risk
+    #: speculation policy sizes its completion estimates with (sourced
+    #: from :meth:`~repro.serving.cluster.ClusterEngine.replica_outstanding`
+    #: rather than recomputed ad hoc).
+    replica_outstanding: tuple[int, ...] = ()
 
     @property
     def n_replicas(self) -> int:

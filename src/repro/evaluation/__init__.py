@@ -22,6 +22,7 @@ __all__ = [
     "pareto_frontier",
     "per_replica_rows",
     "precision_recall",
+    "speculation_rows",
     "token_f1",
 ]
 
@@ -31,6 +32,7 @@ _LAZY = {
     "RunResult": "repro.evaluation.runner",
     "cluster_summary": "repro.evaluation.reports",
     "per_replica_rows": "repro.evaluation.reports",
+    "speculation_rows": "repro.evaluation.reports",
 }
 
 

@@ -41,12 +41,25 @@ class DollarCostModel:
 
 @dataclass
 class CostLedger:
-    """Accumulates the dollar cost of one experiment run."""
+    """Accumulates the dollar cost of one experiment run.
+
+    ``speculation_dollars`` is an **attribution**, not an extra
+    charge: hedged queries' duplicate work runs on the same GPUs whose
+    busy time is already billed through :meth:`charge_gpu`, so the
+    speculation column carves the wasted (losing-lane) share out of
+    ``gpu_dollars`` for reporting — ``total_dollars`` stays
+    ``api + gpu``. This is the tail-latency-vs-cost axis of
+    ``fig_speculation``.
+    """
 
     model: DollarCostModel = field(default_factory=DollarCostModel)
     api_dollars: float = 0.0
     gpu_dollars: float = 0.0
     n_api_calls: int = 0
+    #: GPU dollars attributable to speculation losers (subset of
+    #: ``gpu_dollars``; see class docstring).
+    speculation_dollars: float = 0.0
+    speculation_gpu_seconds: float = 0.0
 
     def charge_api(self, spec: ModelSpec, input_tokens: int,
                    output_tokens: int) -> float:
@@ -58,6 +71,16 @@ class CostLedger:
     def charge_gpu(self, cluster: ClusterSpec, busy_seconds: float) -> float:
         cost = self.model.gpu_time(cluster, busy_seconds)
         self.gpu_dollars += cost
+        return cost
+
+    def charge_speculation(self, cluster: ClusterSpec,
+                           busy_seconds: float) -> float:
+        """Attribute GPU seconds of cancelled duplicate work (priced
+        like :meth:`charge_gpu` but *not* added to the total — the
+        engine's busy time already contains it)."""
+        cost = self.model.gpu_time(cluster, busy_seconds)
+        self.speculation_dollars += cost
+        self.speculation_gpu_seconds += busy_seconds
         return cost
 
     @property

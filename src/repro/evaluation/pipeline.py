@@ -13,6 +13,10 @@ Each query traverses five explicit stages on the shared
   constant.
 * :class:`DecideStage` — configuration choice against a scheduling
   view of the (cluster) engine, including cluster-aware re-placement.
+  With a :class:`~repro.serving.speculation.SpeculationPolicy`
+  configured it also *plans the hedge*: an at-risk query gets a
+  ``hedge:arm`` event on the loop, cancelled if the query finishes
+  first.
 * :class:`RetrieveStage` — scatter-gather search over the store's K
   index shards, each behind its **own** ``Resource`` (finite per-shard
   search executors × a per-shard latency derived from the shard's
@@ -33,8 +37,23 @@ Each query traverses five explicit stages on the shared
   it — no stage ever polls the engine. Completion closes the loop
   (records, feedback, closed-loop re-arrival).
 
+Speculative execution (``docs/SPECULATION.md``): retrieval, synthesis
+and serving run inside a :class:`Lane` — one independent execution
+attempt holding its own resource leases, in-flight events, and engine
+requests. Unhedged queries have exactly one lane (the primary, whose
+event schedule is byte-identical to the pre-lane pipeline). When a
+query's ``hedge:arm`` event fires, a duplicate lane re-enters
+:class:`RetrieveStage` pinned to a different replica; the first lane
+to complete its final LLM call wins, and the loser is torn down
+deterministically — queued/held resource leases cancelled
+(:meth:`~repro.sim.resource.Resource.cancel`), pending gather events
+tombstoned (:meth:`~repro.sim.kernel.EventLoop.cancel`), and engine
+requests evicted with their KV reservations released
+(:meth:`~repro.serving.cluster.ClusterEngine.cancel`). The loser's
+processed tokens are priced into the ledger's ``speculation`` column.
+
 Determinism contract: with all resources unbounded, one retrieval
-shard, and no reranker (the defaults) the
+shard, no reranker, and no speculation (the defaults) the
 event schedule is *byte-identical* to the pre-``repro.sim`` runner —
 the profiler/retrieval completion events land at exactly the
 timestamps and tie-break ranks the old ``heapq`` closures produced.
@@ -67,7 +86,12 @@ from repro.retrieval.sharded import SearchHit, ShardedVectorStore
 from repro.serving.cluster import ClusterEngine
 from repro.serving.engine import ServingEngine
 from repro.serving.request import InferenceRequest
-from repro.sim import EventLoop, Resource, ResourceStats
+from repro.serving.speculation import (
+    HedgeContext,
+    SpeculationPolicy,
+    estimate_plan_seconds,
+)
+from repro.sim import Event, EventLoop, Lease, Resource, ResourceStats
 from repro.synthesis import make_synthesizer
 from repro.synthesis.plans import SynthesisPlan
 from repro.util.validation import check_positive, check_shard_concurrency
@@ -76,6 +100,7 @@ __all__ = [
     "PROFILER_RESOURCE",
     "RERANK_RESOURCE",
     "RETRIEVAL_RESOURCE",
+    "Lane",
     "QueryExecution",
     "QueryPipeline",
     "QueryRecord",
@@ -121,7 +146,8 @@ class QueryRecord:
     queueing_delay: float
     prefill_tokens: int
     output_tokens: int
-    #: Which cluster replica served this query (0 on a bare engine).
+    #: Which cluster replica served this query (0 on a bare engine;
+    #: the *winning* lane's replica when the query was hedged).
     replica: int = 0
     #: Seconds spent waiting for a profiler slot (0 when unbounded).
     profiler_queue_delay: float = 0.0
@@ -135,10 +161,32 @@ class QueryRecord:
     rerank_seconds: float = 0.0
     #: Seconds spent waiting for a reranker slot.
     rerank_queue_delay: float = 0.0
+    #: SLO deadline (``arrival + slo_seconds``); ``None`` without SLO.
+    deadline: float | None = None
+    #: Whether a speculative duplicate was armed for this query.
+    hedged: bool = False
+    #: When the duplicate lane started (``None`` when not hedged).
+    hedge_time: float | None = None
+    #: Whether the duplicate lane won (primary was cancelled).
+    hedge_won: bool = False
+    #: Tokens the losing lane had already processed when cancelled —
+    #: the per-query wasted-work measure speculation pays for its
+    #: tail-latency win.
+    wasted_prefill_tokens: int = 0
+    wasted_decode_tokens: int = 0
+    #: GPU-time attribution of that wasted work (roofline-priced).
+    speculation_seconds: float = 0.0
 
     @property
     def e2e_delay(self) -> float:
         return self.finish_time - self.arrival_time
+
+    @property
+    def slo_met(self) -> bool | None:
+        """Deadline attainment (``None`` when no SLO is configured)."""
+        if self.deadline is None:
+            return None
+        return self.finish_time <= self.deadline
 
     @property
     def profiler_fraction(self) -> float:
@@ -154,14 +202,22 @@ class QueryRecord:
 
 
 @dataclass
-class QueryExecution:
-    """Mutable per-query state as it moves through the stages."""
+class Lane:
+    """One independent execution attempt of a query (retrieve → serve).
 
-    query: Query
-    arrival_time: float
-    prep: PrepResult | None = None
-    decision: Decision | None = None
-    decision_time: float = 0.0
+    Lane 0 is the primary; lane 1 is the speculative duplicate armed
+    by the hedge event. Each lane tracks every resource lease, pending
+    loop event, and in-flight engine request it owns, so the losing
+    lane can be unwound without touching the winner: teardown cancels
+    exactly the listed handles (cancelling already-completed ones is a
+    no-op by construction).
+    """
+
+    ex: "QueryExecution"
+    lane_id: int
+    app_id: str
+    replica: int = 0
+    start_time: float = 0.0
     chunk_ids: list[str] = field(default_factory=list)
     chunks_clipped: bool = False
     plan: SynthesisPlan | None = None
@@ -170,13 +226,45 @@ class QueryExecution:
     first_admitted: float | None = None
     prefill_tokens: int = 0
     output_tokens: int = 0
-    replica: int = 0
-    profiler_queue_delay: float = 0.0
     retrieval_queue_delay: float = 0.0
     retrieval_seconds: float = 0.0
     gather_seconds: float = 0.0
     rerank_seconds: float = 0.0
     rerank_queue_delay: float = 0.0
+    #: Every resource lease this lane ever took (profiler excluded:
+    #: profiling happens once, before lanes exist).
+    leases: list[Lease] = field(default_factory=list)
+    #: Loop events owned by this lane (gather completions).
+    events: list[Event] = field(default_factory=list)
+    #: Engine requests still in flight (removed as calls complete).
+    requests: list[InferenceRequest] = field(default_factory=list)
+    finished: bool = False
+    cancelled: bool = False
+
+
+@dataclass
+class QueryExecution:
+    """Mutable per-query state as it moves through the stages."""
+
+    query: Query
+    arrival_time: float
+    prep: PrepResult | None = None
+    decision: Decision | None = None
+    decision_time: float = 0.0
+    #: Replica the primary lane was routed to.
+    replica: int = 0
+    profiler_queue_delay: float = 0.0
+    #: ``arrival + slo_seconds`` when an SLO is configured.
+    deadline: float | None = None
+    lanes: list[Lane] = field(default_factory=list)
+    #: The armed ``hedge:arm`` event (cancelled if the query wins first).
+    hedge_event: Event | None = None
+    hedged: bool = False
+    hedge_time: float | None = None
+    done: bool = False
+    wasted_prefill_tokens: int = 0
+    wasted_decode_tokens: int = 0
+    speculation_seconds: float = 0.0
 
 
 def validate_arrivals(arrivals: list[Arrival]) -> bool:
@@ -216,6 +304,8 @@ class ProfileStage(_Stage):
 
     def enter(self, t: float, query: Query) -> None:
         ex = QueryExecution(query=query, arrival_time=t)
+        if self.p.slo_seconds is not None:
+            ex.deadline = t + self.p.slo_seconds
         prep = self.p.policy.prepare(query)
         ex.prep = prep
         if prep.dollars:
@@ -230,7 +320,8 @@ class ProfileStage(_Stage):
 
 
 class DecideStage(_Stage):
-    """Pick a configuration against the engine's scheduling view."""
+    """Pick a configuration against the engine's scheduling view, then
+    open the primary lane (and plan the hedge, when speculating)."""
 
     def enter(self, t: float, ex: QueryExecution) -> None:
         p = self.p
@@ -245,12 +336,49 @@ class DecideStage(_Stage):
                 p.engine.pin_app(ex.query.query_id, preferred)
             pinned = p.engine.replica_of_app(ex.query.query_id)
             ex.replica = 0 if pinned is None else pinned
-        p.retrieve.enter(t, ex)
+        primary = Lane(ex=ex, lane_id=0, app_id=ex.query.query_id,
+                       replica=ex.replica, start_time=t)
+        ex.lanes.append(primary)
+        if p.speculation is not None:
+            self._plan_hedge(t, ex, view)
+        p.retrieve.enter(t, primary)
+
+    def _plan_hedge(self, t: float, ex: QueryExecution,
+                    view: SchedulingView) -> None:
+        """Ask the speculation policy when (if ever) to arm a duplicate."""
+        p = self.p
+        if p.speculation.needs_estimate:
+            plan = view.estimate_plan(ex.decision.config)
+            est_seconds = estimate_plan_seconds(plan, p.engine.cost)
+        else:
+            est_seconds = 0.0  # pure timers never read the estimate
+        if isinstance(view, ClusterSchedulingView):
+            outstanding = view.replica_outstanding
+            speeds = view.replica_speeds
+        else:
+            outstanding = (p.engine.outstanding,)
+            speeds = (p.engine.speed,)
+        ctx = HedgeContext(
+            arrival_time=ex.arrival_time,
+            decision_time=t,
+            deadline=ex.deadline,
+            est_service_seconds=est_seconds,
+            primary=ex.replica,
+            replica_outstanding=outstanding,
+            replica_speeds=speeds,
+        )
+        arm_at = p.speculation.hedge_time(ctx)
+        if arm_at is None:
+            return
+        ex.hedge_event = p.loop.schedule(
+            max(t, arm_at), "hedge:arm",
+            lambda tt, _: p.arm_hedge(tt, ex),
+        )
 
 
 @dataclass
 class _ScatterState:
-    """In-flight bookkeeping for one query's scatter-gather."""
+    """In-flight bookkeeping for one lane's scatter-gather."""
 
     t0: float
     fetch_k: int
@@ -265,15 +393,16 @@ class RetrieveStage(_Stage):
     its own per-shard resource.
 
     Scatter computes every shard's local answer up front and charges
-    each shard's hold on its resource; the query proceeds when the
+    each shard's hold on its resource; the lane proceeds when the
     *last* shard completes (latency = max over shards), plus a gather
     event when merging excess candidates costs time (never at K=1, so
     the single-shard schedule is event-for-event the pre-shard one).
     """
 
-    def enter(self, t: float, ex: QueryExecution) -> None:
+    def enter(self, t: float, lane: Lane) -> None:
         p = self.p
         store = p.store
+        ex = lane.ex
         k = ex.decision.config.num_chunks
         fetch_k = p.reranker.fetch_k(k) if p.reranker else k
         qvec = store.embed_query(ex.query.text) if len(store) else None
@@ -284,88 +413,92 @@ class RetrieveStage(_Stage):
         for sid in range(store.n_shards):
             found = (store.search_shard(sid, qvec, fetch_k)
                      if qvec is not None else [])
-            p.shard_resources[sid].request(
+            lease = p.shard_resources[sid].request(
                 t, store.shard_hold_seconds(sid),
                 lambda now, waited, sid=sid, found=found:
-                    self._shard_done(now, waited, sid, found, state, ex),
+                    self._shard_done(now, waited, sid, found, state, lane),
             )
+            lane.leases.append(lease)
 
     def _shard_done(self, now: float, waited: float, sid: int,
                     found: list, state: _ScatterState,
-                    ex: QueryExecution) -> None:
+                    lane: Lane) -> None:
         state.hits[sid] = found
         state.max_wait = max(state.max_wait, waited)
         state.pending -= 1
         if state.pending:
             return
-        ex.retrieval_queue_delay = state.max_wait
+        lane.retrieval_queue_delay = state.max_wait
         store = self.p.store
         merged = store.gather(state.hits, state.fetch_k)
         n_candidates = sum(len(h) for h in state.hits)
         gather_s = store.gather_seconds(n_candidates, state.fetch_k)
-        ex.gather_seconds = gather_s
+        lane.gather_seconds = gather_s
         if gather_s > 0:
-            self.p.loop.schedule(
+            event = self.p.loop.schedule(
                 now + gather_s, "gather:done",
-                lambda tt, _: self._gathered(tt, merged, state, ex),
+                lambda tt, _: self._gathered(tt, merged, state, lane),
             )
+            lane.events.append(event)
         else:
-            self._gathered(now, merged, state, ex)
+            self._gathered(now, merged, state, lane)
 
     def _gathered(self, now: float, merged: list[SearchHit],
-                  state: _ScatterState, ex: QueryExecution) -> None:
-        ex.retrieval_seconds = now - state.t0
+                  state: _ScatterState, lane: Lane) -> None:
+        lane.retrieval_seconds = now - state.t0
         p = self.p
         if p.reranker is not None:
-            p.rerank.enter(now, ex, merged, state.qvec)
+            p.rerank.enter(now, lane, merged, state.qvec)
             return
-        ex.chunk_ids = [h.chunk.chunk_id for h in merged]
-        p.synthesize.enter(now, ex)
+        lane.chunk_ids = [h.chunk.chunk_id for h in merged]
+        p.synthesize.enter(now, lane)
 
 
 class RerankStage(_Stage):
     """Re-score the merged candidate pool on the reranker resource."""
 
-    def enter(self, t: float, ex: QueryExecution,
+    def enter(self, t: float, lane: Lane,
               candidates: list[SearchHit], qvec) -> None:
         p = self.p
         hold = p.reranker.hold_seconds(len(candidates))
-        ex.rerank_seconds = hold
-        p.rerank_resource.request(
+        lane.rerank_seconds = hold
+        lease = p.rerank_resource.request(
             t, hold,
             lambda now, waited:
-                self._done(now, waited, ex, candidates, qvec),
+                self._done(now, waited, lane, candidates, qvec),
         )
+        lane.leases.append(lease)
 
-    def _done(self, now: float, waited: float, ex: QueryExecution,
+    def _done(self, now: float, waited: float, lane: Lane,
               candidates: list[SearchHit], qvec) -> None:
-        ex.rerank_queue_delay = waited
+        lane.rerank_queue_delay = waited
         p = self.p
-        k = ex.decision.config.num_chunks
+        k = lane.ex.decision.config.num_chunks
         top = (p.reranker.rerank(p.store, qvec, candidates, k)
                if candidates else [])
-        ex.chunk_ids = [h.chunk.chunk_id for h in top]
-        p.synthesize.enter(now, ex)
+        lane.chunk_ids = [h.chunk.chunk_id for h in top]
+        p.synthesize.enter(now, lane)
 
 
 class SynthesizeStage(_Stage):
     """Build the prompt plan: clip chunks, expand the synthesis DAG."""
 
-    def enter(self, t: float, ex: QueryExecution) -> None:
+    def enter(self, t: float, lane: Lane) -> None:
         p = self.p
-        chunk_tokens = self._clipped_chunk_tokens(ex)
+        ex = lane.ex
+        chunk_tokens = self._clipped_chunk_tokens(lane)
         synthesizer = p.synthesizer(ex.decision.config)
-        ex.plan = synthesizer.build_plan(
-            query_id=ex.query.query_id,
+        lane.plan = synthesizer.build_plan(
+            query_id=lane.app_id,
             query_tokens=ex.query.n_tokens,
             chunk_tokens=chunk_tokens,
             answer_tokens=ex.query.answer_tokens_estimate,
             config=ex.decision.config,
         )
-        ex.stage = 0
-        p.serve.submit_stage(ex, t)
+        lane.stage = 0
+        p.serve.submit_stage(lane, t)
 
-    def _clipped_chunk_tokens(self, ex: QueryExecution) -> list[int]:
+    def _clipped_chunk_tokens(self, lane: Lane) -> list[int]:
         """Clip the retrieved chunk list to the model's context budget.
 
         ``stuff`` concatenates everything into one prompt; a fixed
@@ -373,8 +506,9 @@ class SynthesizeStage(_Stage):
         the KV pool), in which case trailing chunks are dropped — what
         a production stack's prompt builder does.
         """
+        ex = lane.ex
         engine = self.p.engine
-        chunks = [self.p.store.get(cid) for cid in ex.chunk_ids]
+        chunks = [self.p.store.get(cid) for cid in lane.chunk_ids]
         tokens = [c.n_tokens for c in chunks]
         if ex.decision.config.synthesis_method is SynthesisMethod.STUFF:
             # Slack covers the prompt template wrapper (instruction +
@@ -386,8 +520,8 @@ class SynthesizeStage(_Stage):
             ) - ex.query.n_tokens - ex.query.answer_tokens_estimate - wrapper_slack
             while tokens and sum(tokens) > budget:
                 tokens.pop()
-                ex.chunk_ids.pop()
-                ex.chunks_clipped = True
+                lane.chunk_ids.pop()
+                lane.chunks_clipped = True
         if not tokens:
             raise RuntimeError(
                 f"no chunks usable for {ex.query.query_id}: context budget "
@@ -399,39 +533,42 @@ class SynthesizeStage(_Stage):
 class ServeStage(_Stage):
     """Drive the plan's LLM calls through the serving engine."""
 
-    def submit_stage(self, ex: QueryExecution, t: float) -> None:
+    def submit_stage(self, lane: Lane, t: float) -> None:
         engine = self.p.engine
-        calls = ex.plan.stage_calls(ex.stage)
-        ex.stage_remaining = len(calls)
+        calls = lane.plan.stage_calls(lane.stage)
+        lane.stage_remaining = len(calls)
         for call in calls:
             request = InferenceRequest(
                 prompt_tokens=call.prompt_tokens,
                 output_tokens=call.output_tokens,
                 arrival_time=max(t, engine.now),
-                app_id=ex.query.query_id,
+                app_id=lane.app_id,
                 stage=call.stage,
-                on_finish=lambda req, now, ex=ex: self._on_call_done(
-                    ex, req, now),
+                on_finish=lambda req, now, lane=lane: self._on_call_done(
+                    lane, req, now),
             )
+            lane.requests.append(request)
             engine.submit(request)
 
-    def _on_call_done(self, ex: QueryExecution, request: InferenceRequest,
+    def _on_call_done(self, lane: Lane, request: InferenceRequest,
                       now: float) -> None:
-        if ex.first_admitted is None or (
+        lane.requests.remove(request)
+        if lane.first_admitted is None or (
             request.admitted_time is not None
-            and request.admitted_time < ex.first_admitted
+            and request.admitted_time < lane.first_admitted
         ):
-            ex.first_admitted = request.admitted_time
-        ex.prefill_tokens += request.prompt_tokens
-        ex.output_tokens += request.output_tokens
-        ex.stage_remaining -= 1
-        if ex.stage_remaining > 0:
+            lane.first_admitted = request.admitted_time
+        lane.prefill_tokens += request.prompt_tokens
+        lane.output_tokens += request.output_tokens
+        lane.stage_remaining -= 1
+        if lane.stage_remaining > 0:
             return
-        if ex.stage + 1 < ex.plan.n_stages:
-            ex.stage += 1
-            self.submit_stage(ex, now)
+        if lane.stage + 1 < lane.plan.n_stages:
+            lane.stage += 1
+            self.submit_stage(lane, now)
             return
-        self.p.finalize(ex, now)
+        lane.finished = True
+        self.p.complete_lane(lane, now)
 
 
 class QueryPipeline:
@@ -441,6 +578,13 @@ class QueryPipeline:
     ledger, record sink) so that a fresh pipeline is a fresh
     simulation; the :class:`~repro.evaluation.runner.ExperimentRunner`
     constructs one per ``run()``.
+
+    ``speculation`` (a
+    :class:`~repro.serving.speculation.SpeculationPolicy` or ``None``)
+    enables deadline-aware hedging; ``slo_seconds`` stamps every query
+    with a deadline ``arrival + slo_seconds`` (reported as SLO
+    attainment even without speculation). Both default off, leaving
+    the event schedule untouched.
     """
 
     def __init__(
@@ -454,11 +598,18 @@ class QueryPipeline:
         store: ShardedVectorStore | None = None,
         shard_concurrency=None,
         reranker: ExactReranker | None = None,
+        speculation: SpeculationPolicy | None = None,
+        slo_seconds: float | None = None,
     ) -> None:
         self.bundle = bundle
         self.policy = policy
         self.engine = engine
         self.generator = generator
+        if slo_seconds is not None:
+            check_positive("slo_seconds", slo_seconds)
+            slo_seconds = float(slo_seconds)
+        self.speculation = speculation
+        self.slo_seconds = slo_seconds
         #: The (possibly resharded) store queries search; defaults to
         #: the bundle's own single-shard store.
         self.store = store if store is not None else bundle.store
@@ -496,6 +647,11 @@ class QueryPipeline:
         #: StepDriver wiring the engine onto the loop (set by ``run``).
         self.driver = None
         self.records: list[QueryRecord] = []
+        #: GPU seconds of cancelled duplicate work (roofline-priced at
+        #: the losing replica's speed); the runner attributes this to
+        #: the ledger's ``speculation`` column.
+        self.speculation_gpu_seconds = 0.0
+        self.n_hedges_armed = 0
         self._synthesizers: dict = {}
         self._pending_closed: deque[Arrival] = deque()
         # The stages, wired in traversal order.
@@ -538,9 +694,110 @@ class QueryPipeline:
     def _schedule_arrival(self, t: float, query: Query) -> None:
         self.loop.schedule(t, "arrival", self.profile.enter, query)
 
-    def finalize(self, ex: QueryExecution, now: float) -> None:
-        """Last LLM call done: score, record, and refill the closed loop."""
-        ctx = self.bundle.synthesis_context(ex.query, ex.chunk_ids)
+    # ------------------------------------------------------------------
+    # Speculation: arming, first-completion-wins, loser teardown
+    # ------------------------------------------------------------------
+    def arm_hedge(self, t: float, ex: QueryExecution) -> None:
+        """The ``hedge:arm`` event fired: open the duplicate lane.
+
+        Chooses the fastest under-loaded replica *now* (queue depths
+        have moved since decision time), pins the duplicate's app id
+        there, and re-enters the retrieve stage — the duplicate
+        contends for shard/rerank resources and KV memory exactly like
+        a fresh query, which is the cost hedging pays.
+        """
+        ex.hedge_event = None
+        if ex.done:  # pragma: no cover - arm events are cancelled at win
+            return
+        engine = self.engine
+        if isinstance(engine, ClusterEngine):
+            target = self.speculation.choose_replica(
+                engine.replica_outstanding(), engine.replica_speeds,
+                ex.lanes[0].replica,
+            )
+        else:
+            target = None  # a bare engine has nowhere to hedge to
+        if target is None:
+            return
+        app_id = f"{ex.query.query_id}#hedge"
+        engine.pin_app(app_id, target)
+        lane = Lane(ex=ex, lane_id=1, app_id=app_id,
+                    replica=target, start_time=t)
+        ex.lanes.append(lane)
+        ex.hedged = True
+        ex.hedge_time = t
+        self.n_hedges_armed += 1
+        self.retrieve.enter(t, lane)
+
+    def complete_lane(self, lane: Lane, now: float) -> None:
+        """A lane finished its last LLM call: first completion wins."""
+        ex = lane.ex
+        if ex.done:  # pragma: no cover - losers are cancelled, not raced
+            return
+        ex.done = True
+        if ex.hedge_event is not None:
+            # The query beat its own hedge timer; the armed event must
+            # die as a tombstone, never fire.
+            self.loop.cancel(ex.hedge_event)
+            ex.hedge_event = None
+        for other in ex.lanes:
+            if other is not lane:
+                self._cancel_lane(other, now)
+        self.finalize(ex, lane, now)
+
+    def _cancel_lane(self, lane: Lane, now: float) -> None:
+        """Unwind a losing lane deterministically.
+
+        Order matters for accounting, not correctness: measure the
+        loser's processed tokens first (completed calls plus partial
+        progress of in-flight ones), then cancel leases (queued ones
+        vanish, held ones release their slot to the next waiter),
+        tombstone pending gather events, evict engine requests (KV
+        reservations freed), and drop the hedge app pin. Every cancel
+        below is idempotent/no-op on already-completed handles.
+        """
+        lane.cancelled = True
+        ex = lane.ex
+        wasted_prefill = lane.prefill_tokens
+        wasted_decode = lane.output_tokens
+        for request in lane.requests:
+            wasted_prefill += request.prefilled_tokens
+            wasted_decode += request.decoded_tokens
+        for lease in lane.leases:
+            lease.cancel(now)
+        for event in lane.events:
+            self.loop.cancel(event)
+        for request in lane.requests:
+            self.engine.cancel(request)
+        lane.requests.clear()
+        ex.wasted_prefill_tokens += wasted_prefill
+        ex.wasted_decode_tokens += wasted_decode
+        seconds = self._wasted_seconds(lane, wasted_prefill, wasted_decode)
+        ex.speculation_seconds += seconds
+        self.speculation_gpu_seconds += seconds
+        if isinstance(self.engine, ClusterEngine):
+            self.engine.release_app(lane.app_id)
+
+    def _wasted_seconds(self, lane: Lane, prefill_tokens: int,
+                        decode_tokens: int) -> float:
+        """Roofline-price the loser's processed tokens as GPU time
+        (same rule feedback runs are charged at), scaled by the losing
+        replica's speed — wasted tokens on a 0.5x replica occupied it
+        twice as long."""
+        if prefill_tokens <= 0 and decode_tokens <= 0:
+            return 0.0
+        seconds = self.engine.cost.request_seconds(prefill_tokens,
+                                                   decode_tokens)
+        if isinstance(self.engine, ClusterEngine):
+            speed = self.engine.replicas[lane.replica].speed
+        else:
+            speed = self.engine.speed
+        return seconds / speed
+
+    # ------------------------------------------------------------------
+    def finalize(self, ex: QueryExecution, lane: Lane, now: float) -> None:
+        """Winning lane done: score, record, and refill the closed loop."""
+        ctx = self.bundle.synthesis_context(ex.query, lane.chunk_ids)
         answer = self.generator.generate(ctx, ex.decision.config)
         record = QueryRecord(
             query_id=ex.query.query_id,
@@ -555,31 +812,40 @@ class QueryPipeline:
             coverage=answer.coverage,
             profiler_seconds=ex.prep.api_seconds,
             profiler_dollars=ex.prep.dollars,
-            n_chunks_retrieved=len(ex.chunk_ids),
-            chunks_clipped=ex.chunks_clipped,
+            n_chunks_retrieved=len(lane.chunk_ids),
+            chunks_clipped=lane.chunks_clipped,
             fell_back=ex.decision.fell_back,
             used_recent_spaces=ex.decision.used_recent_spaces,
             confidence=(
                 ex.prep.profile.confidence if ex.prep.profile else None
             ),
             queueing_delay=(
-                (ex.first_admitted - ex.arrival_time)
-                if ex.first_admitted is not None
+                (lane.first_admitted - ex.arrival_time)
+                if lane.first_admitted is not None
                 else 0.0
             ),
-            prefill_tokens=ex.prefill_tokens,
-            output_tokens=ex.output_tokens,
-            replica=ex.replica,
+            prefill_tokens=lane.prefill_tokens,
+            output_tokens=lane.output_tokens,
+            replica=lane.replica,
             profiler_queue_delay=ex.profiler_queue_delay,
-            retrieval_queue_delay=ex.retrieval_queue_delay,
-            retrieval_seconds=ex.retrieval_seconds,
-            gather_seconds=ex.gather_seconds,
-            rerank_seconds=ex.rerank_seconds,
-            rerank_queue_delay=ex.rerank_queue_delay,
+            retrieval_queue_delay=lane.retrieval_queue_delay,
+            retrieval_seconds=lane.retrieval_seconds,
+            gather_seconds=lane.gather_seconds,
+            rerank_seconds=lane.rerank_seconds,
+            rerank_queue_delay=lane.rerank_queue_delay,
+            deadline=ex.deadline,
+            hedged=ex.hedged,
+            hedge_time=ex.hedge_time,
+            hedge_won=(ex.hedged and lane.lane_id == 1),
+            wasted_prefill_tokens=ex.wasted_prefill_tokens,
+            wasted_decode_tokens=ex.wasted_decode_tokens,
+            speculation_seconds=ex.speculation_seconds,
         )
         self.records.append(record)
         if isinstance(self.engine, ClusterEngine):
             self.engine.release_app(ex.query.query_id)
+            # A winning hedge lane's pin must not outlive the query.
+            self.engine.release_app(lane.app_id)
         self.policy.on_complete(ex.query, answer.f1, record.e2e_delay)
         if self._pending_closed:
             nxt = self._pending_closed.popleft()
@@ -639,6 +905,7 @@ class QueryPipeline:
                 ),
                 replica_now=tuple(r.now for r in engine.replicas),
                 replica_speeds=engine.replica_speeds,
+                replica_outstanding=engine.replica_outstanding(),
             )
 
         return SchedulingView(

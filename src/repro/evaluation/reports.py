@@ -13,7 +13,7 @@ from collections.abc import Mapping, Sequence
 
 __all__ = ["format_table", "format_ratio", "Reporter",
            "per_replica_rows", "cluster_summary", "resource_rows",
-           "retrieval_shard_rows"]
+           "retrieval_shard_rows", "speculation_rows"]
 
 
 def _fmt(value) -> str:
@@ -192,6 +192,34 @@ def retrieval_shard_rows(result) -> list[dict]:
             peak_queue_len=row["peak_queue_len"],
         ))
     return rows
+
+
+def speculation_rows(result) -> list[dict]:
+    """One summary row of hedging observables for a run.
+
+    ``result`` is a :class:`~repro.evaluation.runner.RunResult`
+    (duck-typed: ``records`` with the hedge fields, ``engine_stats``,
+    ``ledger``, and the derived ``hedge_rate`` / ``hedge_win_rate`` /
+    ``wasted_work_fraction`` / ``slo_attainment`` properties). The
+    p99-vs-cost pairing is the fig_speculation headline: hedging buys
+    tail latency with the wasted-work fraction and the ledger's
+    ``speculation`` dollars.
+    """
+    has_slo = result.slo_seconds is not None
+    return [dict(
+        speculation=result.speculation or "none",
+        slo_s=result.slo_seconds if has_slo else "-",
+        # Without an SLO there is no deadline to attain; render "-"
+        # rather than a misleading 0% attainment.
+        slo_attainment=result.slo_attainment if has_slo else "-",
+        hedge_rate=result.hedge_rate,
+        hedge_win_rate=result.hedge_win_rate,
+        wasted_work_fraction=result.wasted_work_fraction,
+        p50_delay_s=result.delay_percentile(50),
+        p99_delay_s=result.delay_percentile(99),
+        requests_cancelled=result.engine_stats.requests_cancelled,
+        speculation_dollars=result.ledger.speculation_dollars,
+    )]
 
 
 class Reporter:

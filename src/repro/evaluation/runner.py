@@ -33,6 +33,7 @@ from repro.llm.quality import QualityModel, QualityParams
 from repro.retrieval.rerank import ExactReranker, make_reranker
 from repro.serving.cluster import ClusterEngine
 from repro.serving.engine import EngineConfig, EngineStats, ServingEngine
+from repro.serving.speculation import SpeculationPolicy, make_speculation
 from repro.sim import ResourceStats
 from repro.util.validation import (
     check_positive,
@@ -67,6 +68,10 @@ class RunResult:
     n_retrieval_shards: int = 1
     #: Name of the configured reranker (``None`` when disabled).
     reranker: str | None = None
+    #: Per-query SLO in seconds (``None`` = no deadline stamped).
+    slo_seconds: float | None = None
+    #: Name of the speculation policy (``None`` when disabled).
+    speculation: str | None = None
 
     # ------------------------------------------------------------------
     def _delays(self) -> np.ndarray:
@@ -125,6 +130,49 @@ class RunResult:
         return float(np.percentile(
             [r.retrieval_seconds for r in self.records], q))
 
+    # ------------------------------------------------------------------
+    # Speculation / SLO observables (fig_speculation)
+    # ------------------------------------------------------------------
+    @property
+    def hedge_rate(self) -> float:
+        """Fraction of queries for which a duplicate was armed."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.hedged) / len(self.records)
+
+    @property
+    def hedge_win_rate(self) -> float:
+        """Fraction of *hedged* queries won by the duplicate lane."""
+        hedged = [r for r in self.records if r.hedged]
+        if not hedged:
+            return 0.0
+        return sum(1 for r in hedged if r.hedge_won) / len(hedged)
+
+    @property
+    def wasted_work_fraction(self) -> float:
+        """Loser-lane tokens over all tokens the engines processed.
+
+        The engine totals include the wasted tokens (they were really
+        prefilled/decoded before cancellation), so this is the share
+        of GPU work speculation threw away to cut the tail.
+        """
+        total = (self.engine_stats.prefill_tokens
+                 + self.engine_stats.decode_tokens)
+        if total <= 0:
+            return 0.0
+        wasted = sum(r.wasted_prefill_tokens + r.wasted_decode_tokens
+                     for r in self.records)
+        return wasted / total
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of queries finishing by their deadline (0.0 when
+        no SLO was configured — check :attr:`slo_seconds`)."""
+        met = [r.slo_met for r in self.records if r.slo_met is not None]
+        if not met:
+            return 0.0
+        return sum(met) / len(met)
+
     @property
     def total_dollars(self) -> float:
         return self.ledger.total_dollars
@@ -177,6 +225,15 @@ class ExperimentRunner:
     fast with both counts — mirroring the mixed open/closed-loop
     workload validation — rather than silently recycling or truncating
     speeds.
+
+    ``slo_seconds`` stamps every query with a deadline
+    ``arrival + slo_seconds`` (reported as SLO attainment);
+    ``speculation`` selects a deadline-aware hedging policy
+    (``"none"`` / ``"hedge-after-delay"`` / ``"deadline-risk"``, see
+    :mod:`repro.serving.speculation`) that duplicates at-risk queries
+    onto a second replica and cancels the loser, with ``hedge_delay``
+    setting the ``hedge-after-delay`` timer. The default (``None`` /
+    ``"none"``) leaves the event schedule byte-identical.
     """
 
     def __init__(
@@ -194,6 +251,9 @@ class ExperimentRunner:
         shard_concurrency=None,
         reranker: str | ExactReranker | None = None,
         index: str = "flat",
+        slo_seconds: float | None = None,
+        speculation: str | SpeculationPolicy | None = None,
+        hedge_delay: float | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
         if profiler_concurrency is not None:
@@ -219,6 +279,22 @@ class ExperimentRunner:
                 "shard_concurrency (per shard), not both — got "
                 f"retrieval_concurrency={retrieval_concurrency} and "
                 f"shard_concurrency={shard_concurrency!r}"
+            )
+        if slo_seconds is not None:
+            check_positive("slo_seconds", slo_seconds)
+            slo_seconds = float(slo_seconds)
+        if hedge_delay is not None:
+            check_positive("hedge_delay", hedge_delay)
+        self.slo_seconds = slo_seconds
+        self.speculation = make_speculation(
+            speculation, hedge_delay=hedge_delay, slo_seconds=slo_seconds)
+        if self.speculation is not None and int(n_replicas) < 2:
+            raise ValueError(
+                f"speculation {self.speculation.name!r} needs a second "
+                "replica to hedge onto; with n_replicas="
+                f"{int(n_replicas)} every hedge would be silently "
+                "skipped — pass --replicas 2 (or more) or drop "
+                "--speculation"
             )
         self.reranker = make_reranker(reranker)
         store = bundle.store
@@ -287,11 +363,18 @@ class ExperimentRunner:
             store=self.store,
             shard_concurrency=self.shard_concurrency,
             reranker=self.reranker,
+            speculation=self.speculation,
+            slo_seconds=self.slo_seconds,
         )
         pipeline.run(arrivals, closed_loop_clients=closed_loop_clients)
 
         ledger = pipeline.ledger
         ledger.charge_gpu(engine.cluster, engine.stats.busy_seconds)
+        if pipeline.speculation_gpu_seconds > 0:
+            # Attribution, not an extra charge: the losers' busy time
+            # is already inside engine.stats.busy_seconds.
+            ledger.charge_speculation(engine.cluster,
+                                      pipeline.speculation_gpu_seconds)
         self._charge_feedback(policy, engine, ledger)
         makespan = engine.now
         if isinstance(engine, ClusterEngine):
@@ -312,6 +395,8 @@ class ExperimentRunner:
             resource_stats=pipeline.resource_stats(),
             n_retrieval_shards=self.store.n_shards,
             reranker=self.reranker.name if self.reranker else None,
+            slo_seconds=self.slo_seconds,
+            speculation=self.speculation.name if self.speculation else None,
         )
 
     # ------------------------------------------------------------------
@@ -323,8 +408,6 @@ class ExperimentRunner:
         if feedback is None:
             return
         for event in feedback.events:
-            seconds = engine.cost.prefill_seconds(event.golden_prefill_tokens)
-            seconds += event.golden_output_tokens * engine.cost.decode_step_seconds(
-                event.golden_prefill_tokens, 1
-            )
+            seconds = engine.cost.request_seconds(
+                event.golden_prefill_tokens, event.golden_output_tokens)
             ledger.charge_gpu(engine.cluster, seconds)

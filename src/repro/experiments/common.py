@@ -193,6 +193,9 @@ def run_policy(
     shard_concurrency=None,
     reranker=None,
     index: str = "flat",
+    slo_seconds: float | None = None,
+    speculation=None,
+    hedge_delay: float | None = None,
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
@@ -207,7 +210,10 @@ def run_policy(
     ``shard_concurrency`` / ``reranker`` / ``index`` configure the
     scatter-gather retrieval subsystem (see
     :mod:`repro.retrieval.sharded` and
-    :class:`~repro.evaluation.runner.ExperimentRunner`).
+    :class:`~repro.evaluation.runner.ExperimentRunner`);
+    ``slo_seconds`` / ``speculation`` / ``hedge_delay`` configure
+    deadline-aware speculative hedging (see
+    :mod:`repro.serving.speculation`).
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     if sequential:
@@ -229,6 +235,9 @@ def run_policy(
         shard_concurrency=shard_concurrency,
         reranker=reranker,
         index=index,
+        slo_seconds=slo_seconds,
+        speculation=speculation,
+        hedge_delay=hedge_delay,
     )
     return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 

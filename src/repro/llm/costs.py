@@ -85,6 +85,20 @@ class RooflineCostModel:
             return 0.0
         return busy + self.step_overhead_s
 
+    def request_seconds(self, prompt_tokens: int,
+                        output_tokens: int) -> float:
+        """Uncontended service time of one whole request: prefill the
+        prompt, then one solo decode step per output token.
+
+        The single pricing rule for work charged outside a live batch —
+        golden-configuration feedback runs and speculation wasted-work
+        attribution both use it, and the deadline-risk policy's plan
+        estimates must agree with what losers are later billed.
+        """
+        seconds = self.prefill_seconds(prompt_tokens)
+        seconds += output_tokens * self.decode_step_seconds(prompt_tokens, 1)
+        return seconds
+
     def prefill_throughput_tokens_per_s(self) -> float:
         """Peak prompt-processing throughput (capacity-planning aid)."""
         return 1.0 / self.prefill_seconds(1)

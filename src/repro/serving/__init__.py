@@ -30,27 +30,43 @@ from repro.serving.policies import (
     make_policy,
 )
 from repro.serving.request import InferenceRequest, RequestPhase
+from repro.serving.speculation import (
+    DeadlineRisk,
+    HedgeAfterDelay,
+    HedgeContext,
+    NoSpeculation,
+    SPECULATION_NAMES,
+    SpeculationPolicy,
+    make_speculation,
+)
 
 __all__ = [
     "AppAwarePolicy",
     "BlockManager",
     "ClusterEngine",
     "ClusterStepInfo",
+    "DeadlineRisk",
     "EngineConfig",
     "FCFSPolicy",
     "GPUMemoryModel",
+    "HedgeAfterDelay",
+    "HedgeContext",
     "InferenceRequest",
     "LeastKVLoadRouter",
     "LeastOutstandingRouter",
+    "NoSpeculation",
     "PowerOfTwoRouter",
     "ReplicaSnapshot",
     "RequestPhase",
     "RoundRobinRouter",
     "Router",
     "ROUTER_NAMES",
+    "SPECULATION_NAMES",
     "SchedulingPolicy",
     "ServingEngine",
+    "SpeculationPolicy",
     "StepInfo",
     "make_policy",
     "make_router",
+    "make_speculation",
 ]

@@ -85,7 +85,7 @@ class Router(ABC):
     @staticmethod
     def outstanding(replica: ServingEngine) -> int:
         """Load proxy: requests on the replica (waiting + running)."""
-        return len(replica.waiting) + len(replica.running)
+        return replica.outstanding
 
 
 class RoundRobinRouter(Router):
@@ -300,6 +300,9 @@ class ClusterEngine:
             agg.requests_finished += r.stats.requests_finished
             agg.admission_stalls += r.stats.admission_stalls
             agg.wakeups += r.stats.wakeups
+            agg.requests_cancelled += r.stats.requests_cancelled
+            agg.cancelled_prefill_tokens += r.stats.cancelled_prefill_tokens
+            agg.cancelled_decode_tokens += r.stats.cancelled_decode_tokens
             agg.peak_kv_utilization = max(agg.peak_kv_utilization,
                                           r.stats.peak_kv_utilization)
         return agg
@@ -309,6 +312,16 @@ class ClusterEngine:
 
     def total_free_kv_bytes(self) -> float:
         return sum(r.free_kv_bytes() for r in self.replicas)
+
+    def replica_outstanding(self) -> tuple[int, ...]:
+        """Per-replica outstanding-request counts (waiting + running).
+
+        The single authoritative queue-depth signal under the
+        event-driven driver: routers, the scheduling view, and the
+        deadline-risk speculation policy all read this instead of
+        recomputing it from the replica lists ad hoc.
+        """
+        return tuple(r.outstanding for r in self.replicas)
 
     def snapshots(self) -> tuple[ReplicaSnapshot, ...]:
         return tuple(
@@ -390,6 +403,22 @@ class ClusterEngine:
         """Move every replica's clock forward to ``t`` (never backward)."""
         for r in self.replicas:
             r.advance_to(t)
+
+    def cancel(self, request: InferenceRequest) -> bool:
+        """Tear down an in-flight request on whichever replica holds it.
+
+        Resolves the placement recorded at submission, delegates to
+        :meth:`ServingEngine.cancel` (queue removal or KV-releasing
+        eviction), and prunes the assignment so tracking state stays
+        bounded. ``False`` for unknown/already-finished requests.
+        """
+        rid = self._assignments.get(request.request_id)
+        if rid is None:
+            return False
+        if not self.replicas[rid].cancel(request):
+            return False
+        self._assignments.pop(request.request_id, None)
+        return True
 
     def step(self) -> ClusterStepInfo:
         """Advance the lagging busy replica by one engine iteration.

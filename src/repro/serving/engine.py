@@ -100,6 +100,11 @@ class EngineStats:
     peak_kv_utilization: float = 0.0
     admission_stalls: int = 0  # iterations where the queue head could not fit
     wakeups: int = 0  # idle -> busy transitions (event-driven wake events)
+    requests_cancelled: int = 0  # speculation losers torn down mid-flight
+    #: tokens already processed for requests that were then cancelled —
+    #: the engine-side measure of speculative (wasted) work
+    cancelled_prefill_tokens: int = 0
+    cancelled_decode_tokens: int = 0
 
 
 class ServingEngine:
@@ -163,6 +168,12 @@ class ServingEngine:
     def has_work(self) -> bool:
         return bool(self._waiting or self._running)
 
+    @property
+    def outstanding(self) -> int:
+        """Requests on this engine (waiting + running) — the queue-depth
+        load proxy routers and deadline-risk speculation consume."""
+        return len(self._waiting) + len(self._running)
+
     def free_kv_bytes(self) -> float:
         """Instantaneous free KV memory (the paper's ``get_free_memory``)."""
         return (
@@ -212,6 +223,41 @@ class ServingEngine:
         """Jump the clock forward to ``t`` (idle time between arrivals)."""
         if t > self.now:
             self.now = t
+
+    def cancel(self, request: InferenceRequest) -> bool:
+        """Tear down an in-flight request (the speculation-loser path).
+
+        A ``WAITING`` request is removed from the queue before it ever
+        claims memory; a ``PREFILL``/``DECODE`` request is evicted from
+        the running batch and its KV block reservation is freed
+        immediately. ``on_finish`` never fires for a cancelled request
+        — the caller owns whatever continuation the request carried.
+        Returns ``False`` (untouched) for requests that already
+        finished, were already cancelled, or were never submitted here.
+
+        Must not be called from within this engine's own :meth:`step`
+        (completion callbacks cancel work on *other* replicas; the
+        iteration's prefill plan holds direct references that a
+        same-replica eviction would corrupt).
+        """
+        if request.phase is RequestPhase.WAITING:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                return False
+        elif request.phase in (RequestPhase.PREFILL, RequestPhase.DECODE):
+            if request not in self._running:
+                return False
+            self.blocks.free(request.request_id)
+            self._running.remove(request)
+        else:
+            return False
+        request.phase = RequestPhase.CANCELLED
+        request.cancel_time = self.now
+        self.stats.requests_cancelled += 1
+        self.stats.cancelled_prefill_tokens += request.prefilled_tokens
+        self.stats.cancelled_decode_tokens += request.decoded_tokens
+        return True
 
     # ------------------------------------------------------------------
     # The iteration

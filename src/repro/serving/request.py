@@ -24,6 +24,9 @@ class RequestPhase(enum.Enum):
     PREFILL = "prefill"
     DECODE = "decode"
     FINISHED = "finished"
+    #: torn down by :meth:`ServingEngine.cancel` (speculation loser);
+    #: terminal like FINISHED, but ``on_finish`` never fires.
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -58,6 +61,7 @@ class InferenceRequest:
     admitted_time: float | None = None
     prefill_done_time: float | None = None
     finish_time: float | None = None
+    cancel_time: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("prompt_tokens", self.prompt_tokens)

@@ -162,6 +162,16 @@ class EventLoop:
         self.n_scheduled += 1
         return event
 
+    def is_pending(self, event: Event) -> bool:
+        """Whether ``event`` is scheduled and neither fired nor cancelled.
+
+        Teardown code (hedged-query unwind) uses this to assert that a
+        cancelled event really became a tombstone; the drain invariant
+        ``n_scheduled == n_dispatched + n_cancelled`` is its aggregate
+        counterpart.
+        """
+        return event.seq in self._pending
+
     def cancel(self, event: Event) -> bool:
         """Cancel a pending event; it will never fire.
 

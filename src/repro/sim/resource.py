@@ -1,4 +1,5 @@
-"""Finite-concurrency resources with FIFO queueing and stats.
+"""Finite-concurrency resources with FIFO queueing, stats, and
+cancellable leases.
 
 A :class:`Resource` models anything a query must hold for a service
 interval before proceeding — a rate-limited profiler API, a vector
@@ -12,18 +13,32 @@ With finite concurrency, excess requests wait in arrival (FIFO) order;
 per-request queue delay and per-resource utilization/backlog counters
 are accumulated in :class:`ResourceStats` — the observable that makes
 profiler overhead (paper Fig 18) load-dependent.
+
+Every :meth:`Resource.request` returns a :class:`Lease` — the handle a
+speculative scheduler uses to tear down the losing side of a hedged
+query (see :mod:`repro.serving.speculation`). Cancelling a lease that
+is still **queued** removes it before it ever starts; cancelling one
+that is **held** tombstones its completion event on the kernel
+(:meth:`~repro.sim.kernel.EventLoop.cancel`), releases the slot at the
+cancellation instant, reclaims the unused tail of its ``busy_seconds``
+charge, and hands the freed slot to the longest-waiting queued request
+— so a finite pool never strands capacity behind a dead query (pinned
+by ``tests/test_speculation_properties.py``).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.kernel import EventLoop
 from repro.util.validation import check_positive
 
-__all__ = ["Resource", "ResourceStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Event
+
+__all__ = ["Lease", "Resource", "ResourceStats"]
 
 #: ``callback(finish_time, queue_delay_seconds)``
 ResourceCallback = Callable[[float, float], None]
@@ -37,7 +52,8 @@ class ResourceStats:
     concurrency: float  # math.inf when unbounded
     n_requests: int = 0
     n_queued: int = 0  # requests that could not start immediately
-    busy_seconds: float = 0.0  # sum of service (hold) times
+    n_cancelled: int = 0  # leases cancelled before completing
+    busy_seconds: float = 0.0  # sum of service (hold) times actually used
     total_queue_delay: float = 0.0
     max_queue_delay: float = 0.0
     peak_in_service: int = 0
@@ -66,15 +82,63 @@ class ResourceStats:
         return self.busy_seconds / (self.concurrency * makespan)
 
 
+class Lease:
+    """A claim on one resource slot: queued, then held, then released.
+
+    States: ``QUEUED`` (waiting for a slot), ``HELD`` (slot granted,
+    completion event scheduled), ``DONE`` (completion fired), and
+    ``CANCELLED``. Only ``QUEUED``/``HELD`` leases react to
+    :meth:`cancel`; cancelling a finished or already-cancelled lease is
+    a ``False``-returning no-op, so teardown code may cancel every
+    lease a query ever took without tracking which ones completed.
+    """
+
+    QUEUED = "queued"
+    HELD = "held"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+    __slots__ = ("resource", "state", "request_time", "hold_seconds",
+                 "callback", "grant_time", "event")
+
+    def __init__(self, resource: "Resource", request_time: float,
+                 hold_seconds: float, callback: ResourceCallback) -> None:
+        self.resource = resource
+        self.state = Lease.QUEUED
+        self.request_time = request_time
+        self.hold_seconds = hold_seconds
+        self.callback = callback
+        self.grant_time: float | None = None
+        #: the scheduled ``<name>:done`` completion event while HELD
+        self.event: "Event | None" = None
+
+    @property
+    def end_time(self) -> float:
+        """Scheduled completion time (``inf`` while still queued)."""
+        if self.grant_time is None:
+            return float("inf")
+        return self.grant_time + self.hold_seconds
+
+    def cancel(self, t: float) -> bool:
+        """Abort this lease at simulated time ``t`` (see Resource)."""
+        return self.resource.cancel(self, t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Lease({self.resource.name!r}, {self.state}, "
+                f"req_t={self.request_time:.6f})")
+
+
 class Resource:
     """A pool of ``concurrency`` identical servers with a FIFO queue.
 
-    Usage: ``resource.request(t, hold_seconds, callback)`` — the
-    callback fires (via the event loop, so global event ordering stays
-    deterministic) at ``grant_time + hold_seconds`` with the delay the
-    request spent queued. Grants are strictly FIFO; a freed slot goes
-    to the longest-waiting request *before* the finishing request's
-    callback runs, like a semaphore released on the way out.
+    Usage: ``lease = resource.request(t, hold_seconds, callback)`` —
+    the callback fires (via the event loop, so global event ordering
+    stays deterministic) at ``grant_time + hold_seconds`` with the
+    delay the request spent queued. Grants are strictly FIFO; a freed
+    slot goes to the longest-waiting request *before* the finishing
+    request's callback runs, like a semaphore released on the way out.
+    The returned :class:`Lease` supports cancellation (hedged-query
+    teardown); callers that never cancel may ignore it.
     """
 
     def __init__(self, name: str, loop: EventLoop,
@@ -86,8 +150,8 @@ class Resource:
         self.concurrency = float("inf") if concurrency is None else int(concurrency)
         self.stats = ResourceStats(name=name, concurrency=float(self.concurrency))
         self.in_service = 0
-        #: queued (request_time, hold_seconds, callback) in arrival order
-        self._queue: deque[tuple[float, float, ResourceCallback]] = deque()
+        #: queued leases in arrival order
+        self._queue: deque[Lease] = deque()
 
     # ------------------------------------------------------------------
     @property
@@ -95,40 +159,84 @@ class Resource:
         return len(self._queue)
 
     def request(self, t: float, hold_seconds: float,
-                callback: ResourceCallback) -> None:
+                callback: ResourceCallback) -> Lease:
         """Ask for one slot at time ``t`` for ``hold_seconds``."""
         if hold_seconds < 0:
             raise ValueError(f"negative hold_seconds: {hold_seconds}")
         self.stats.n_requests += 1
+        lease = Lease(self, t, hold_seconds, callback)
         if self.in_service < self.concurrency:
-            self._grant(t, t, hold_seconds, callback)
-            return
+            self._grant(lease, t)
+            return lease
         self.stats.n_queued += 1
-        self._queue.append((t, hold_seconds, callback))
+        self._queue.append(lease)
         self.stats.peak_queue_len = max(self.stats.peak_queue_len,
                                         len(self._queue))
+        return lease
+
+    def cancel(self, lease: Lease, t: float) -> bool:
+        """Abort a lease at simulated time ``t``.
+
+        * ``QUEUED`` — removed from the wait queue; it never starts.
+        * ``HELD`` — its completion event is tombstoned on the kernel,
+          the unused remainder of its hold (``end_time - t``) is
+          reclaimed from ``busy_seconds``, and the freed slot is
+          granted to the longest-waiting queued lease at ``t``.
+        * ``DONE`` / ``CANCELLED`` — no-op, returns ``False``.
+
+        ``t`` must not precede the lease's grant time (a cancellation
+        cannot happen before the work it aborts started).
+        """
+        if lease.resource is not self:
+            raise ValueError(
+                f"lease belongs to {lease.resource.name!r}, "
+                f"not {self.name!r}"
+            )
+        if lease.state == Lease.QUEUED:
+            self._queue.remove(lease)
+            lease.state = Lease.CANCELLED
+            self.stats.n_cancelled += 1
+            return True
+        if lease.state != Lease.HELD:
+            return False
+        if t < lease.grant_time:
+            raise ValueError(
+                f"cancel at t={t} precedes lease grant at {lease.grant_time}"
+            )
+        self.loop.cancel(lease.event)
+        lease.event = None
+        lease.state = Lease.CANCELLED
+        self.stats.n_cancelled += 1
+        # Reclaim the hold time the cancelled lease never used.
+        self.stats.busy_seconds -= max(0.0, lease.end_time - t)
+        self.in_service -= 1
+        if self._queue and self.in_service < self.concurrency:
+            self._grant(self._queue.popleft(), t)
+        return True
 
     # ------------------------------------------------------------------
-    def _grant(self, requested_t: float, start_t: float,
-               hold_seconds: float, callback: ResourceCallback) -> None:
+    def _grant(self, lease: Lease, start_t: float) -> None:
+        lease.state = Lease.HELD
+        lease.grant_time = start_t
         self.in_service += 1
         self.stats.peak_in_service = max(self.stats.peak_in_service,
                                          self.in_service)
-        self.stats.busy_seconds += hold_seconds
-        delay = start_t - requested_t
+        self.stats.busy_seconds += lease.hold_seconds
+        delay = start_t - lease.request_time
         self.stats.total_queue_delay += delay
         self.stats.max_queue_delay = max(self.stats.max_queue_delay, delay)
-        self.loop.schedule(
-            start_t + hold_seconds,
+        lease.event = self.loop.schedule(
+            start_t + lease.hold_seconds,
             kind=f"{self.name}:done",
             handler=self._on_done,
-            payload=(callback, delay),
+            payload=(lease, delay),
         )
 
-    def _on_done(self, t: float, payload: Any) -> None:
-        callback, delay = payload
+    def _on_done(self, t: float, payload) -> None:
+        lease, delay = payload
+        lease.state = Lease.DONE
+        lease.event = None
         self.in_service -= 1
         if self._queue and self.in_service < self.concurrency:
-            req_t, hold, queued_cb = self._queue.popleft()
-            self._grant(req_t, t, hold, queued_cb)
-        callback(t, delay)
+            self._grant(self._queue.popleft(), t)
+        lease.callback(t, delay)

@@ -175,6 +175,73 @@ class TestCommands:
         assert code == 2
         assert "shard_concurrency" in capsys.readouterr().err
 
+    def test_run_command_with_speculation(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "12", "--rate", "8.0",
+            "--replicas", "2", "--replica-speeds", "1.0,0.5",
+            "--router", "round-robin",
+            "--speculation", "hedge-after-delay", "--slo-seconds", "4.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[hedge-after-delay speculation]" in out
+        assert "Speculative scheduling" in out
+        assert "hedge_rate" in out and "wasted_work_fraction" in out
+
+    def test_slo_without_speculation_reports_attainment(self, capsys):
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "8", "--rate", "2.0",
+            "--slo-seconds", "5.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Speculative scheduling" in out
+        assert "slo_attainment" in out
+
+    def test_speculation_misuse_fails_fast(self, capsys):
+        # deadline-risk without an SLO has no signal to act on.
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--speculation", "deadline-risk",
+        ])
+        assert code == 2
+        assert "slo-seconds" in capsys.readouterr().err
+        # hedge-after-delay needs a timer (explicit or derived).
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--speculation", "hedge-after-delay",
+        ])
+        assert code == 2
+        assert "hedge-delay" in capsys.readouterr().err
+        # A single replica has nowhere to hedge to.
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--speculation", "hedge-after-delay", "--hedge-delay", "1.0",
+        ])
+        assert code == 2
+        assert "second replica" in capsys.readouterr().err
+        # A timer the selected policy would ignore is rejected too.
+        code = main([
+            "run", "--dataset", "squad", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4", "--replicas", "2",
+            "--speculation", "deadline-risk", "--slo-seconds", "5.0",
+            "--hedge-delay", "1.0",
+        ])
+        assert code == 2
+        assert "only applies" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_speculation(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([
+                "run", "--dataset", "squad", "--policy", "metis",
+                "--speculation", "telepathy",
+            ])
+
     def test_parser_rejects_unknown_index_and_reranker(self):
         with pytest.raises(SystemExit):
             make_parser().parse_args([

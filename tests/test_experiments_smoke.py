@@ -128,6 +128,45 @@ def test_fig_retrieval_scaling_fast():
     assert reranked[0]["mean_rerank_s"] > 0
 
 
+def test_fig_speculation_fast():
+    """Acceptance bar (ISSUE 5): on the 1.0x/0.5x fleet, speculative
+    hedging cuts p99 below the no-speculation baseline at a bounded
+    wasted-work fraction, and the deadline-risk policy is far more
+    selective than the aggressive hedge timer."""
+    from repro.experiments import fig_speculation
+
+    report = fig_speculation.run(fast=True)
+    rows = {r["speculation"]: r for r in report.rows}
+    assert set(rows) == {"none", "hedge@2s", "hedge@3s", "hedge@5s",
+                         "deadline-risk"}
+
+    base = rows["none"]
+    assert base["hedge_rate"] == 0.0
+    assert base["wasted_work_fraction"] == 0.0
+    assert base["speculation_dollars"] == 0.0
+
+    hedged = [rows[k] for k in rows if k != "none"]
+    # Pinned headline: every hedging row beats the baseline tail...
+    for row in hedged:
+        assert row["p99_delay_s"] < base["p99_delay_s"], row["speculation"]
+        # ...with bounded duplicate cost (the vs-cost axis).
+        assert 0.0 < row["wasted_work_fraction"] < 0.35
+        assert row["requests_cancelled"] > 0
+        assert 0.0 < row["speculation_dollars"] < row["total_dollars"]
+
+    # Earlier timers hedge (and waste) more than later ones.
+    assert rows["hedge@2s"]["hedge_rate"] > rows["hedge@5s"]["hedge_rate"]
+    assert (rows["hedge@2s"]["wasted_work_fraction"]
+            > rows["hedge@5s"]["wasted_work_fraction"])
+    # Risk-gating: far fewer hedges than the aggressive timer, and no
+    # worse SLO attainment than the baseline.
+    assert (rows["deadline-risk"]["hedge_rate"]
+            < 0.6 * rows["hedge@2s"]["hedge_rate"])
+    assert (rows["deadline-risk"]["slo_attainment"]
+            >= base["slo_attainment"])
+    assert len(report.notes) == 2
+
+
 @pytest.mark.slow
 def test_fig19_fast():
     report = fig19_lowload.run(fast=True)
