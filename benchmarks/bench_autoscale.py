@@ -1,0 +1,56 @@
+"""Day-long autoscaling trace benchmark for the workload engine.
+
+Replays the ``fig_autoscale`` sweep (static-1 / static-peak /
+reactive / forecast fleets over the same diurnal trace, idle capacity
+priced) and writes a JSON artifact — SLO attainment, $/query, and p99
+delay per fleet — next to ``bench_cluster_events.json`` so regressions
+in the load/reporting path are diffable across runs. Runs under plain
+pytest (no pytest-benchmark dependency) so the CI ``--fast`` smoke
+job can execute it on a bare ``numpy + pytest`` install.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import fig_autoscale
+
+from conftest import FAST, write_artifact
+
+
+def test_autoscale_trace():
+    start = time.perf_counter()
+    report = fig_autoscale.run(fast=FAST)
+    wall_seconds = time.perf_counter() - start
+
+    rows = {r["fleet"]: r for r in report.rows}
+    assert set(rows) == {"static-1", "static-3", "reactive", "forecast"}
+    # The headline shape the figure exists for (gated numerically by
+    # check_regression.py; this is just the sanity floor).
+    assert (rows["forecast"]["slo_attainment"]
+            >= rows["static-3"]["slo_attainment"] - 0.02)
+    assert (rows["forecast"]["dollars_per_query"]
+            < rows["static-3"]["dollars_per_query"])
+
+    artifact = write_artifact("autoscale_trace.json", {
+        "benchmark": "autoscale_trace",
+        "dataset": "finsec",
+        "rows": [
+            {
+                "fleet": r["fleet"],
+                "slo_attainment": r["slo_attainment"],
+                "dollars_per_query": r["dollars_per_query"],
+                "p99_delay_s": r["p99_delay_s"],
+                "idle_fraction": r["idle_fraction"],
+                "scale_ups": r["scale_ups"],
+                "retires": r["retires"],
+                "queries": r["queries"],
+            }
+            for r in report.rows
+        ],
+        "wall_seconds": wall_seconds,
+        "fast_mode": FAST,
+    })
+    print()
+    print(report.format())
+    print(f"autoscale trace in {wall_seconds:.2f}s -> {artifact}")

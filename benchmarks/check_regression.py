@@ -1,8 +1,8 @@
 """Benchmark regression gate: compare fresh artifacts to baselines.
 
 CI's ``bench-regression`` job runs the micro-benchmarks
-(``bench_cluster_events.py``, ``bench_retrieval_shards.py``) in fast
-mode, then invokes this script to compare the freshly written
+(``bench_cluster_events.py``, ``bench_retrieval_shards.py``,
+``bench_autoscale.py``) in fast mode, then invokes this script to compare the freshly written
 ``benchmarks/artifacts/*.json`` against the **committed**
 ``benchmarks/baselines/*.json``. Any gated metric that regresses by
 more than the tolerance (default 25%, ``REPRO_BENCH_TOLERANCE``)
@@ -94,13 +94,32 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
                 Metric("p99_retrieval_s", higher_better=False),
                 float(row["p99_retrieval_s"]),
             )
+    elif artifact_name == "autoscale_trace.json":
+        # Deterministic simulated quantities per fleet arm; scaling
+        # event counts are reported in the artifact but not gated
+        # (they may legitimately shift when a policy is retuned).
+        for row in payload["rows"]:
+            key = f"fleet={row['fleet']}"
+            out[f"{key}:slo_attainment"] = (
+                Metric("slo_attainment", higher_better=True),
+                float(row["slo_attainment"]),
+            )
+            out[f"{key}:dollars_per_query"] = (
+                Metric("dollars_per_query", higher_better=False),
+                float(row["dollars_per_query"]),
+            )
+            out[f"{key}:p99_delay_s"] = (
+                Metric("p99_delay_s", higher_better=False),
+                float(row["p99_delay_s"]),
+            )
     else:
         raise ValueError(f"no metric spec for artifact {artifact_name!r}")
     return out
 
 
 GATED_ARTIFACTS = ("bench_cluster_events.json",
-                   "retrieval_shard_sweep.json")
+                   "retrieval_shard_sweep.json",
+                   "autoscale_trace.json")
 
 
 def compare(metric: Metric, baseline: float, measured: float,

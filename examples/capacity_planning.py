@@ -16,6 +16,7 @@ from repro import (
     make_metis,
 )
 from repro.experiments.common import run_policy
+from repro.workload import sustained_rate
 
 SLO_SECONDS = 5.0
 RATES = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
@@ -35,17 +36,21 @@ def main() -> None:
         print(f"{name:>32}", end="")
     print()
 
-    sustained = {name: 0.0 for name in systems}
+    outcomes = {name: [] for name in systems}
     for rate in RATES:
         print(f"{rate:>10.1f}", end="")
         for name, factory in systems.items():
             result = run_policy(bundle, factory(), rate_qps=rate)
-            marker = " *" if result.mean_delay <= SLO_SECONDS else "  "
-            if result.mean_delay <= SLO_SECONDS:
-                sustained[name] = max(sustained[name], rate)
+            met = result.mean_delay <= SLO_SECONDS
+            marker = " *" if met else "  "
+            outcomes[name].append((rate, met))
             print(f"{result.mean_delay:>26.2f}s{marker}   ", end="")
         print()
 
+    # A pass at a higher rate after a miss does not raise the sustained
+    # rate: a deployer cannot operate above a rate that already
+    # violated the SLO, so only the prefix before the first miss counts.
+    sustained = {name: sustained_rate(outcomes[name]) for name in systems}
     print(f"\nHighest sustained rate under a {SLO_SECONDS:.0f}s mean-delay SLO:")
     for name, rate in sustained.items():
         print(f"  {name}: {rate:.1f} qps")

@@ -67,12 +67,19 @@ from repro.llm import (
 )
 from repro.retrieval import FlatL2Index, HashedEmbedding, VectorStore
 from repro.serving import EngineConfig, ServingEngine
+from repro.workload import (
+    Autoscaler,
+    Workload,
+    diurnal_workload,
+    make_workload,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "A40",
     "AdaptiveRAGPolicy",
+    "Autoscaler",
     "ClusterSpec",
     "ConfigurationSpace",
     "DATASET_NAMES",
@@ -104,11 +111,14 @@ __all__ = [
     "SimTokenizer",
     "SynthesisMethod",
     "VectorStore",
+    "Workload",
     "build_dataset",
     "default_engine_config",
+    "diurnal_workload",
     "full_grid",
     "make_adaptive_rag",
     "make_metis",
+    "make_workload",
     "map_profile_to_space",
     "poisson_arrivals",
     "sequential_arrivals",

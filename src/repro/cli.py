@@ -8,6 +8,9 @@ Usage::
         --router power-of-two
     python -m repro run --dataset finsec --policy metis --replicas 2 \\
         --replica-speeds 1.0,0.5 --router least-outstanding
+    python -m repro run --dataset finsec --policy metis \\
+        --workload diurnal --autoscaler forecast --scale-max 3 \\
+        --slo-seconds 6
     python -m repro experiment fig10 --fast
     python -m repro datasets
 
@@ -25,6 +28,8 @@ from repro.baselines import FixedConfigPolicy, ParrotPolicy
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.data import DATASET_NAMES, build_dataset
 from repro.evaluation.reports import (
+    autoscale_rows,
+    autoscale_summary,
     format_table,
     per_replica_rows,
     resource_rows,
@@ -33,6 +38,7 @@ from repro.evaluation.reports import (
 from repro.retrieval import INDEX_NAMES, RERANKER_NAMES
 from repro.serving.cluster import ROUTER_NAMES
 from repro.serving.speculation import SPECULATION_NAMES
+from repro.workload import AUTOSCALER_NAMES, WORKLOAD_NAMES
 
 __all__ = ["main", "parse_config_label", "parse_replica_speeds",
            "parse_shard_concurrency", "build_policy"]
@@ -44,6 +50,7 @@ _EXPERIMENTS = (
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
     "fig19_lowload", "fig_retrieval_scaling", "fig_speculation",
+    "fig_autoscale",
 )
 
 
@@ -154,6 +161,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         slo_seconds=args.slo_seconds,
         speculation=args.speculation,
         hedge_delay=args.hedge_delay,
+        workload=args.workload,
+        autoscaler=args.autoscaler,
+        scale_min=args.scale_min,
+        scale_max=args.scale_max,
+        autoscale_interval=args.autoscale_interval,
+        provision_delay=args.provision_delay,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
@@ -167,11 +180,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title += f" [+{args.reranker} reranker]"
     if args.speculation != "none":
         title += f" [{args.speculation} speculation]"
+    if args.workload is not None:
+        title += f" [{args.workload} workload]"
+    if args.autoscaler != "none":
+        title += f" [{args.autoscaler} autoscaler]"
     print(format_table(rows, title=title))
-    if args.replicas > 1:
+    if args.replicas > 1 or args.autoscaler != "none":
         print()
         print(format_table(per_replica_rows(result),
                            title="Per-replica serving stats"))
+    if args.autoscaler != "none":
+        print()
+        print(format_table([autoscale_summary(result)],
+                           title="Elastic capacity"))
+        if result.scaling_events:
+            print()
+            print(format_table(autoscale_rows(result),
+                               title="Scaling events"))
     if args.speculation != "none" or args.slo_seconds is not None:
         print()
         print(format_table(speculation_rows(result),
@@ -277,6 +302,26 @@ def make_parser() -> argparse.ArgumentParser:
                      help="hedge-after-delay timer in seconds "
                           "(default: half the SLO when --slo-seconds "
                           "is set)")
+    run.add_argument("--workload", default=None,
+                     help="trace-driven arrivals: a generator name "
+                          f"({', '.join(WORKLOAD_NAMES)}) or a trace "
+                          "JSON path; replaces --rate (default off)")
+    run.add_argument("--autoscaler", choices=AUTOSCALER_NAMES,
+                     default="none",
+                     help="elastic capacity policy; 'none' keeps the "
+                          "fleet static and the schedule byte-identical")
+    run.add_argument("--scale-min", type=int, default=None,
+                     help="autoscaler floor on active replicas "
+                          "(default 1)")
+    run.add_argument("--scale-max", type=int, default=None,
+                     help="autoscaler ceiling on provisioned replicas "
+                          "(default: max(4, --replicas))")
+    run.add_argument("--autoscale-interval", type=float, default=None,
+                     help="seconds between autoscaler ticks "
+                          "(default 15)")
+    run.add_argument("--provision-delay", type=float, default=None,
+                     help="seconds a scale-up takes to come online "
+                          "(default 30)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

@@ -50,6 +50,15 @@ class CostLedger:
     ``gpu_dollars`` for reporting — ``total_dollars`` stays
     ``api + gpu``. This is the tail-latency-vs-cost axis of
     ``fig_speculation``.
+
+    ``idle_dollars`` is a real charge, not an attribution: a
+    provisioned replica bills for wall-clock rental whether or not it
+    is busy (``charge_idle_capacity`` adds the idle remainder on top
+    of the busy time billed through :meth:`charge_gpu`), so
+    ``total_dollars`` becomes ``api + gpu + idle``. Static fleets
+    sized for the peak pay for their troughs — the cost axis of
+    ``fig_autoscale``. Runs that don't price idle capacity (the
+    default) never call it, leaving totals unchanged.
     """
 
     model: DollarCostModel = field(default_factory=DollarCostModel)
@@ -60,6 +69,10 @@ class CostLedger:
     #: ``gpu_dollars``; see class docstring).
     speculation_dollars: float = 0.0
     speculation_gpu_seconds: float = 0.0
+    #: Rental dollars for provisioned-but-idle capacity (additive;
+    #: see class docstring).
+    idle_dollars: float = 0.0
+    idle_gpu_seconds: float = 0.0
 
     def charge_api(self, spec: ModelSpec, input_tokens: int,
                    output_tokens: int) -> float:
@@ -83,9 +96,18 @@ class CostLedger:
         self.speculation_gpu_seconds += busy_seconds
         return cost
 
+    def charge_idle_capacity(self, cluster: ClusterSpec,
+                             idle_seconds: float) -> float:
+        """Charge rental for provisioned capacity that sat idle
+        (priced like :meth:`charge_gpu`, **added** to the total)."""
+        cost = self.model.gpu_time(cluster, idle_seconds)
+        self.idle_dollars += cost
+        self.idle_gpu_seconds += idle_seconds
+        return cost
+
     @property
     def total_dollars(self) -> float:
-        return self.api_dollars + self.gpu_dollars
+        return self.api_dollars + self.gpu_dollars + self.idle_dollars
 
     def per_query(self, n_queries: int) -> float:
         """Average dollars per query (0 when no queries ran)."""

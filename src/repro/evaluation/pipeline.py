@@ -332,7 +332,10 @@ class DecideStage(_Stage):
             # Cluster-aware policies may re-place the query on a
             # replica with more claimable memory (fallback rescue).
             preferred = ex.decision.notes.get("preferred_replica")
-            if preferred is not None:
+            if preferred is not None and p.engine.is_active(preferred):
+                # A preference for a replica that started draining
+                # since the view was built is dropped, not honoured:
+                # draining replicas take no new placements.
                 p.engine.pin_app(ex.query.query_id, preferred)
             pinned = p.engine.replica_of_app(ex.query.query_id)
             ex.replica = 0 if pinned is None else pinned
@@ -600,6 +603,7 @@ class QueryPipeline:
         reranker: ExactReranker | None = None,
         speculation: SpeculationPolicy | None = None,
         slo_seconds: float | None = None,
+        autoscaler=None,
     ) -> None:
         self.bundle = bundle
         self.policy = policy
@@ -610,6 +614,10 @@ class QueryPipeline:
             slo_seconds = float(slo_seconds)
         self.speculation = speculation
         self.slo_seconds = slo_seconds
+        #: Optional :class:`~repro.workload.Autoscaler`; started by
+        #: ``run`` once the arrival horizon is known. ``None`` leaves
+        #: the fleet static (and the schedule byte-identical).
+        self.autoscaler = autoscaler
         #: The (possibly resharded) store queries search; defaults to
         #: the bundle's own single-shard store.
         self.store = store if store is not None else bundle.store
@@ -670,6 +678,11 @@ class QueryPipeline:
         """Seed the workload and run the loop until everything drains."""
         check_positive("closed_loop_clients", closed_loop_clients)
         closed = validate_arrivals(arrivals)
+        if closed and self.autoscaler is not None:
+            raise ValueError(
+                "the autoscaler tracks timed (open-loop) workloads; a "
+                "closed-loop run has no arrival horizon to scale against"
+            )
         if closed:
             seed_n = min(int(closed_loop_clients), len(arrivals))
             for arrival in arrivals[:seed_n]:
@@ -689,6 +702,11 @@ class QueryPipeline:
         # the legacy polling interleave `loop.run(substrate=engine)`.
         # The dispatch order is byte-identical — see repro.sim.driver.
         self.driver = self.engine.attach(self.loop)
+        if self.autoscaler is not None:
+            horizon = max(a.time for a in arrivals)
+            self.autoscaler.start(
+                self.loop, self.engine, horizon=horizon,
+                records=self.records, slo_seconds=self.slo_seconds)
         self.loop.run()
 
     def _schedule_arrival(self, t: float, query: Query) -> None:
@@ -714,6 +732,7 @@ class QueryPipeline:
             target = self.speculation.choose_replica(
                 engine.replica_outstanding(), engine.replica_speeds,
                 ex.lanes[0].replica,
+                eligible=engine.active_replica_ids(),
             )
         else:
             target = None  # a bare engine has nowhere to hedge to

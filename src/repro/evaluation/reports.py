@@ -13,7 +13,8 @@ from collections.abc import Mapping, Sequence
 
 __all__ = ["format_table", "format_ratio", "Reporter",
            "per_replica_rows", "cluster_summary", "resource_rows",
-           "retrieval_shard_rows", "speculation_rows"]
+           "retrieval_shard_rows", "speculation_rows",
+           "autoscale_rows", "autoscale_summary"]
 
 
 def _fmt(value) -> str:
@@ -220,6 +221,47 @@ def speculation_rows(result) -> list[dict]:
         requests_cancelled=result.engine_stats.requests_cancelled,
         speculation_dollars=result.ledger.speculation_dollars,
     )]
+
+
+def autoscale_rows(result) -> list[dict]:
+    """One row per fleet change the autoscaler made, in event order.
+
+    ``result`` is a :class:`~repro.evaluation.runner.RunResult`
+    (duck-typed: needs ``scaling_events`` — a list of
+    :class:`~repro.workload.ScalingEvent`). ``replica`` renders ``-``
+    for provision requests, which have no replica id until the
+    capacity actually joins.
+    """
+    return [dict(
+        time_s=e.time,
+        action=e.action,
+        replica=e.replica if e.replica >= 0 else "-",
+        n_active=e.n_active,
+    ) for e in result.scaling_events]
+
+
+def autoscale_summary(result) -> dict:
+    """One row summarising elastic capacity over a run.
+
+    Pairs the SLO axis with the cost axis: ``idle_fraction`` is the
+    share of provisioned GPU-seconds that sat idle (what a static
+    peak-sized fleet wastes in the troughs), and the event counts
+    show how busy the control loop was.
+    """
+    events = result.scaling_events
+    provisioned = result.provisioned_gpu_seconds
+    idle = result.idle_gpu_seconds
+    return dict(
+        autoscaler=result.autoscaler or "none",
+        n_replicas_peak=max((e.n_active for e in events),
+                            default=len(result.replica_stats)),
+        scale_ups=sum(1 for e in events if e.action == "add"),
+        retires=sum(1 for e in events if e.action == "retire"),
+        provisioned_gpu_s=provisioned,
+        idle_gpu_s=idle,
+        idle_fraction=(idle / provisioned) if provisioned > 0 else 0.0,
+        idle_dollars=result.ledger.idle_dollars,
+    )
 
 
 class Reporter:

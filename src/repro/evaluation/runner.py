@@ -36,9 +36,17 @@ from repro.serving.engine import EngineConfig, EngineStats, ServingEngine
 from repro.serving.speculation import SpeculationPolicy, make_speculation
 from repro.sim import ResourceStats
 from repro.util.validation import (
+    check_count,
     check_positive,
     check_shard_concurrency,
     check_shard_count,
+)
+from repro.workload import (
+    Autoscaler,
+    ForecastPolicy,
+    ScalingEvent,
+    Workload,
+    make_scaling_policy,
 )
 
 #: ``QueryRecord`` is defined next to the pipeline that emits it and
@@ -72,24 +80,43 @@ class RunResult:
     slo_seconds: float | None = None
     #: Name of the speculation policy (``None`` when disabled).
     speculation: str | None = None
+    #: Name of the autoscaler policy (``None`` when the fleet is static).
+    autoscaler: str | None = None
+    #: Chronological fleet changes the autoscaler made (empty when
+    #: static); see :class:`repro.workload.ScalingEvent`.
+    scaling_events: list[ScalingEvent] = field(default_factory=list)
+    #: GPU-seconds of provisioned capacity over the run (busy + idle,
+    #: summed across replicas from provisioning to retirement).
+    provisioned_gpu_seconds: float = 0.0
+    #: Provisioned-but-idle GPU-seconds (the gap idle-capacity pricing
+    #: bills; 0.0 when idle pricing is off).
+    idle_gpu_seconds: float = 0.0
 
+    # ------------------------------------------------------------------
+    # Latency / quality observables. A run can legitimately complete
+    # zero queries (an autoscaled trace whose trough carries no
+    # arrivals), so the aggregate statistics degrade to NaN — "no
+    # observation" — rather than raising or masquerading as a perfect
+    # 0.0 latency.
     # ------------------------------------------------------------------
     def _delays(self) -> np.ndarray:
         return np.asarray([r.e2e_delay for r in self.records])
 
     @property
     def mean_delay(self) -> float:
-        return float(self._delays().mean()) if self.records else 0.0
+        if not self.records:
+            return float("nan")
+        return float(self._delays().mean())
 
     def delay_percentile(self, q: float) -> float:
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.percentile(self._delays(), q))
 
     @property
     def mean_f1(self) -> float:
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.mean([r.f1 for r in self.records]))
 
     @property
@@ -101,32 +128,32 @@ class RunResult:
     @property
     def mean_profiler_fraction(self) -> float:
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.mean([r.profiler_fraction for r in self.records]))
 
     @property
     def mean_profiler_queue_delay(self) -> float:
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.mean([r.profiler_queue_delay for r in self.records]))
 
     @property
     def mean_retrieval_seconds(self) -> float:
         """Mean scatter-gather stage duration (queue + hold + gather)."""
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.mean([r.retrieval_seconds for r in self.records]))
 
     @property
     def mean_gather_seconds(self) -> float:
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.mean([r.gather_seconds for r in self.records]))
 
     def retrieval_percentile(self, q: float) -> float:
         """Percentile of the per-query scatter-gather duration."""
         if not self.records:
-            return 0.0
+            return float("nan")
         return float(np.percentile(
             [r.retrieval_seconds for r in self.records], q))
 
@@ -166,8 +193,14 @@ class RunResult:
 
     @property
     def slo_attainment(self) -> float:
-        """Fraction of queries finishing by their deadline (0.0 when
-        no SLO was configured — check :attr:`slo_seconds`)."""
+        """Fraction of queries finishing by their deadline.
+
+        0.0 when queries completed but no SLO was configured (check
+        :attr:`slo_seconds`); NaN when the run completed no queries at
+        all — there is nothing to attain or miss.
+        """
+        if not self.records:
+            return float("nan")
         met = [r.slo_met for r in self.records if r.slo_met is not None]
         if not met:
             return 0.0
@@ -254,8 +287,63 @@ class ExperimentRunner:
         slo_seconds: float | None = None,
         speculation: str | SpeculationPolicy | None = None,
         hedge_delay: float | None = None,
+        workload: Workload | None = None,
+        autoscaler=None,
+        scale_min: int | None = None,
+        scale_max: int | None = None,
+        autoscale_interval: float | None = None,
+        provision_delay: float | None = None,
+        price_idle_capacity: bool | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
+        self.scaling_policy = make_scaling_policy(autoscaler)
+        if self.scaling_policy is None:
+            misused = {
+                "scale_min": scale_min,
+                "scale_max": scale_max,
+                "autoscale_interval": autoscale_interval,
+                "provision_delay": provision_delay,
+            }
+            bad = [k for k, v in misused.items() if v is not None]
+            if bad:
+                raise ValueError(
+                    f"{', '.join(bad)} only applies with an autoscaler; "
+                    "pass --autoscaler reactive (or forecast), or drop "
+                    "the flag"
+                )
+            self.scale_min = self.scale_max = int(n_replicas)
+        else:
+            if isinstance(self.scaling_policy, ForecastPolicy) \
+                    and workload is None:
+                raise ValueError(
+                    "the forecast autoscaler plans against the declared "
+                    "workload trace; pass workload= (--workload) or use "
+                    "--autoscaler reactive"
+                )
+            self.scale_min = (1 if scale_min is None
+                              else check_count("scale_min", scale_min, 1))
+            default_max = max(4, int(n_replicas), self.scale_min)
+            self.scale_max = (default_max if scale_max is None
+                              else check_count("scale_max", scale_max, 1))
+            if not self.scale_min <= int(n_replicas) <= self.scale_max:
+                raise ValueError(
+                    f"the initial fleet must lie inside the scaling "
+                    f"range: n_replicas={int(n_replicas)} is outside "
+                    f"[scale_min={self.scale_min}, "
+                    f"scale_max={self.scale_max}]"
+                )
+        self.workload = workload
+        self.autoscale_interval = (15.0 if autoscale_interval is None
+                                   else autoscale_interval)
+        self.provision_delay = (30.0 if provision_delay is None
+                                else provision_delay)
+        #: Idle-capacity pricing defaults on exactly when autoscaling
+        #: is on (the comparison it exists for), but can be forced
+        #: either way — fig_autoscale prices the static arms too.
+        self.price_idle_capacity = (
+            self.scaling_policy is not None
+            if price_idle_capacity is None else bool(price_idle_capacity)
+        )
         if profiler_concurrency is not None:
             check_positive("profiler_concurrency", profiler_concurrency)
         if retrieval_concurrency is not None:
@@ -288,12 +376,14 @@ class ExperimentRunner:
         self.slo_seconds = slo_seconds
         self.speculation = make_speculation(
             speculation, hedge_delay=hedge_delay, slo_seconds=slo_seconds)
-        if self.speculation is not None and int(n_replicas) < 2:
+        if (self.speculation is not None and int(n_replicas) < 2
+                and self.scale_max < 2):
             raise ValueError(
                 f"speculation {self.speculation.name!r} needs a second "
                 "replica to hedge onto; with n_replicas="
                 f"{int(n_replicas)} every hedge would be silently "
-                "skipped — pass --replicas 2 (or more) or drop "
+                "skipped — pass --replicas 2 (or more), allow the "
+                "autoscaler to add one (--scale-max 2+), or drop "
                 "--speculation"
             )
         self.reranker = make_reranker(reranker)
@@ -341,7 +431,9 @@ class ExperimentRunner:
         """
         config = replace(self.engine_config, policy=policy.engine_policy)
         engine: ServingEngine | ClusterEngine
-        if self.n_replicas > 1:
+        if self.n_replicas > 1 or self.scaling_policy is not None:
+            # An autoscaled fleet is always a cluster, even when it
+            # starts from one replica — elasticity lives there.
             engine = ClusterEngine(
                 config,
                 n_replicas=self.n_replicas,
@@ -353,6 +445,18 @@ class ExperimentRunner:
             speed = (self.replica_speeds[0]
                      if self.replica_speeds else 1.0)
             engine = ServingEngine(config, speed=speed)
+        autoscaler = None
+        if self.scaling_policy is not None:
+            # Fresh per run: the Autoscaler accumulates events and
+            # holds loop references; the policy itself is pure.
+            autoscaler = Autoscaler(
+                self.scaling_policy,
+                scale_min=self.scale_min,
+                scale_max=self.scale_max,
+                interval_s=self.autoscale_interval,
+                provision_delay_s=self.provision_delay,
+                workload=self.workload,
+            )
         pipeline = QueryPipeline(
             bundle=self.bundle,
             policy=policy,
@@ -365,6 +469,7 @@ class ExperimentRunner:
             reranker=self.reranker,
             speculation=self.speculation,
             slo_seconds=self.slo_seconds,
+            autoscaler=autoscaler,
         )
         pipeline.run(arrivals, closed_loop_clients=closed_loop_clients)
 
@@ -380,9 +485,17 @@ class ExperimentRunner:
         if isinstance(engine, ClusterEngine):
             replica_stats = [r.stats for r in engine.replicas]
             replica_speeds = list(engine.replica_speeds)
+            provisioned = engine.provisioned_seconds(makespan)
         else:
             replica_stats = [engine.stats]
             replica_speeds = [engine.speed]
+            provisioned = [makespan]
+        idle_seconds = sum(
+            max(0.0, provisioned[i] - replica_stats[i].busy_seconds)
+            for i in range(len(provisioned))
+        )
+        if self.price_idle_capacity:
+            ledger.charge_idle_capacity(engine.cluster, idle_seconds)
         return RunResult(
             policy=policy.name,
             dataset=self.bundle.name,
@@ -397,6 +510,12 @@ class ExperimentRunner:
             reranker=self.reranker.name if self.reranker else None,
             slo_seconds=self.slo_seconds,
             speculation=self.speculation.name if self.speculation else None,
+            autoscaler=(self.scaling_policy.name
+                        if self.scaling_policy else None),
+            scaling_events=list(autoscaler.events) if autoscaler else [],
+            provisioned_gpu_seconds=sum(provisioned),
+            idle_gpu_seconds=(idle_seconds
+                              if self.price_idle_capacity else 0.0),
         )
 
     # ------------------------------------------------------------------

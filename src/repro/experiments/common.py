@@ -196,6 +196,13 @@ def run_policy(
     slo_seconds: float | None = None,
     speculation=None,
     hedge_delay: float | None = None,
+    workload=None,
+    autoscaler=None,
+    scale_min: int | None = None,
+    scale_max: int | None = None,
+    autoscale_interval: float | None = None,
+    provision_delay: float | None = None,
+    price_idle_capacity: bool | None = None,
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
@@ -214,9 +221,37 @@ def run_policy(
     ``slo_seconds`` / ``speculation`` / ``hedge_delay`` configure
     deadline-aware speculative hedging (see
     :mod:`repro.serving.speculation`).
+
+    ``workload`` replaces the one-shot Poisson arrivals with a
+    trace-driven :class:`~repro.workload.Workload` (a generator name,
+    a trace-file path, or an instance — see
+    :func:`repro.workload.make_workload`); the bundle's queries cycle
+    through the trace's arrival slots. ``autoscaler`` /
+    ``scale_min`` / ``scale_max`` / ``autoscale_interval`` /
+    ``provision_delay`` / ``price_idle_capacity`` configure elastic
+    capacity on top (see :mod:`repro.workload.autoscaler`); the
+    default (``None`` / ``"none"``) keeps the fleet static and the
+    schedule byte-identical.
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
-    if sequential:
+    wl = None
+    if workload is not None:
+        if sequential:
+            raise ValueError(
+                "workload traces are open-loop (timed arrivals); drop "
+                "sequential=True (--sequential) or the workload"
+            )
+        if rate_qps is not None:
+            raise ValueError(
+                "rate_qps sets the one-shot Poisson rate; a workload "
+                "trace carries its own per-period rates — pass one or "
+                "the other"
+            )
+        from repro.workload import make_workload
+
+        wl = make_workload(workload, seed=seed)
+        arrivals = wl.materialize(queries, seed=seed)
+    elif sequential:
         arrivals = sequential_arrivals(queries)
     else:
         rate = rate_qps if rate_qps is not None else DEFAULT_RATES[bundle.name]
@@ -238,6 +273,13 @@ def run_policy(
         slo_seconds=slo_seconds,
         speculation=speculation,
         hedge_delay=hedge_delay,
+        workload=wl,
+        autoscaler=autoscaler,
+        scale_min=scale_min,
+        scale_max=scale_max,
+        autoscale_interval=autoscale_interval,
+        provision_delay=provision_delay,
+        price_idle_capacity=price_idle_capacity,
     )
     return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 

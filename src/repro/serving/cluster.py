@@ -200,6 +200,8 @@ class ReplicaSnapshot:
     available_kv_bytes: float
     stats: EngineStats
     speed: float = 1.0
+    #: Lifecycle state: ``active`` / ``draining`` / ``retired``.
+    state: str = "active"
 
 
 class ClusterEngine:
@@ -240,6 +242,13 @@ class ClusterEngine:
         self.config = config
         self.replicas = [ServingEngine(config, speed=s) for s in speeds]
         self.replica_speeds: tuple[float, ...] = tuple(speeds)
+        # Elastic-fleet lifecycle (driven by repro.workload.Autoscaler).
+        # The initial fleet is provisioned at t=0 and active; replicas
+        # are never removed from the list — retirement keeps indices
+        # (and with them pins, assignments, reports) stable.
+        self._state: list[str] = ["active"] * n_replicas
+        self.provisioned_at: list[float] = [0.0] * n_replicas
+        self.retired_at: list[float | None] = [None] * n_replicas
         self.router = (make_router(router, seed=seed)
                        if isinstance(router, str) else router)
         self._pins: dict[str, int] = {}
@@ -335,9 +344,118 @@ class ClusterEngine:
                 available_kv_bytes=r.available_kv_bytes(),
                 stats=r.stats,
                 speed=r.speed,
+                state=self._state[i],
             )
             for i, r in enumerate(self.replicas)
         )
+
+    # ------------------------------------------------------------------
+    # Elastic fleet lifecycle (active -> draining -> retired)
+    # ------------------------------------------------------------------
+    def is_active(self, replica_id: int) -> bool:
+        """Whether ``replica_id`` currently accepts new placements."""
+        return self._state[replica_id] == "active"
+
+    @property
+    def n_active(self) -> int:
+        return self._state.count("active")
+
+    def active_replica_ids(self) -> tuple[int, ...]:
+        """Replicas eligible for new apps, hedges, and pins."""
+        return tuple(i for i, s in enumerate(self._state) if s == "active")
+
+    def draining_replica_ids(self) -> tuple[int, ...]:
+        return tuple(i for i, s in enumerate(self._state) if s == "draining")
+
+    def add_replica(self, at: float, speed: float = 1.0) -> int:
+        """Provision a fresh replica whose clock starts at ``at``.
+
+        The replica joins active (routable immediately) but idle — it
+        holds no events until work is routed to it, so adding capacity
+        never perturbs the existing schedule by itself.
+        """
+        check_positive("speed", speed)
+        engine = ServingEngine(self.config, speed=float(speed))
+        engine.advance_to(at)
+        self.replicas.append(engine)
+        self.replica_speeds = self.replica_speeds + (float(speed),)
+        self._state.append("active")
+        self.provisioned_at.append(float(at))
+        self.retired_at.append(None)
+        return len(self.replicas) - 1
+
+    def begin_drain(self, replica_id: int) -> None:
+        """Stop routing new work to a replica; it keeps what it holds.
+
+        Draining is the first half of drain-before-retire: the replica
+        finishes its outstanding requests (and keeps serving apps
+        pinned to it) but receives nothing new. At least one replica
+        must stay active — a fleet with zero routable replicas would
+        deadlock admission.
+        """
+        if self._state[replica_id] != "active":
+            raise ValueError(
+                f"replica {replica_id} is {self._state[replica_id]}, "
+                "not active; only active replicas can begin draining"
+            )
+        if self.n_active <= 1:
+            raise ValueError(
+                "cannot drain the last active replica; the cluster "
+                "needs at least one routable replica"
+            )
+        self._state[replica_id] = "draining"
+
+    def cancel_drain(self, replica_id: int) -> None:
+        """Reactivate a draining replica (instant, free scale-up)."""
+        if self._state[replica_id] != "draining":
+            raise ValueError(
+                f"replica {replica_id} is {self._state[replica_id]}, "
+                "not draining; nothing to cancel"
+            )
+        self._state[replica_id] = "active"
+
+    def can_retire(self, replica_id: int) -> bool:
+        """Whether a draining replica has fully unwound.
+
+        True only when nothing would be stranded: no outstanding
+        request (which also covers in-flight hedge lanes and their KV
+        reservations) and no app still pinned to the replica.
+        """
+        if self._state[replica_id] != "draining":
+            return False
+        if self.replicas[replica_id].outstanding > 0:
+            return False
+        return replica_id not in self._pins.values()
+
+    def retire(self, replica_id: int, at: float) -> None:
+        """Remove a drained replica from the fleet (terminal).
+
+        The replica stays in ``self.replicas`` so indices remain
+        stable, but it is unroutable and its provisioned-capacity
+        clock stops at ``at`` (see :meth:`provisioned_seconds`).
+        """
+        if not self.can_retire(replica_id):
+            raise ValueError(
+                f"replica {replica_id} cannot retire: state="
+                f"{self._state[replica_id]!r}, outstanding="
+                f"{self.replicas[replica_id].outstanding}, pinned_apps="
+                f"{sorted(a for a, r in self._pins.items() if r == replica_id)}"
+            )
+        self._state[replica_id] = "retired"
+        self.retired_at[replica_id] = float(at)
+
+    def provisioned_seconds(self, end: float) -> list[float]:
+        """Per-replica seconds of provisioned capacity over ``[0, end]``.
+
+        Each replica is billed from its provisioning time until it
+        retired (or until ``end`` while it never did) — the basis for
+        idle-capacity pricing in the cost ledger.
+        """
+        out = []
+        for start, stop in zip(self.provisioned_at, self.retired_at):
+            effective_stop = min(stop, end) if stop is not None else end
+            out.append(max(0.0, effective_stop - start))
+        return out
 
     # ------------------------------------------------------------------
     # Routing / placement
@@ -358,6 +476,11 @@ class ClusterEngine:
             raise ValueError(
                 f"replica_id must be in [0, {self.n_replicas}), got {replica_id}"
             )
+        if self._state[replica_id] != "active":
+            raise ValueError(
+                f"cannot pin app {app_id!r} to replica {replica_id}: it is "
+                f"{self._state[replica_id]}, not active"
+            )
         self._pins[app_id] = replica_id
 
     def replica_of_app(self, app_id: str) -> int | None:
@@ -373,13 +496,31 @@ class ClusterEngine:
         return self._assignments.get(request_id)
 
     def _checked_select(self) -> int:
-        rid = self.router.select(self.replicas)
-        if not 0 <= rid < self.n_replicas:
+        # Fast path: a fully active fleet routes over ``self.replicas``
+        # exactly as before elasticity existed — byte-identical
+        # schedules for every run without an autoscaler.
+        if self.n_active == self.n_replicas:
+            rid = self.router.select(self.replicas)
+            if not 0 <= rid < self.n_replicas:
+                raise RuntimeError(
+                    f"router {self.router.name!r} returned replica {rid}; "
+                    f"cluster has {self.n_replicas}"
+                )
+            return rid
+        active = self.active_replica_ids()
+        if not active:
             raise RuntimeError(
-                f"router {self.router.name!r} returned replica {rid}; "
-                f"cluster has {self.n_replicas}"
+                "no active replica to route to; the autoscaler must keep "
+                "at least one replica active"
             )
-        return rid
+        view = [self.replicas[i] for i in active]
+        local = self.router.select(view)
+        if not 0 <= local < len(view):
+            raise RuntimeError(
+                f"router {self.router.name!r} returned replica {local}; "
+                f"{len(view)} replicas are active"
+            )
+        return active[local]
 
     # ------------------------------------------------------------------
     # Driving surface

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.util.validation import check_positive
 
@@ -123,18 +124,24 @@ class SpeculationPolicy(ABC):
 
     def choose_replica(self, outstanding: tuple[int, ...],
                        speeds: tuple[float, ...],
-                       primary: int) -> int | None:
+                       primary: int,
+                       eligible: Sequence[int] | None = None) -> int | None:
         """Place the duplicate on the fastest under-loaded replica.
 
         Called at *arm* time with fresh cluster state (queue depths
         move between decision and arming). Minimises speed-normalised
         queue depth, preferring raw speed then the lowest index on
-        ties; the primary is excluded. ``None`` when there is no other
-        replica (bare engine / single-replica cluster) — the hedge is
-        skipped, never self-duplicated.
+        ties; the primary is excluded. ``eligible`` restricts the pool
+        (elastic clusters pass their active replicas so a hedge never
+        lands on a draining or retired one); ``None`` means every
+        replica, which is byte-identical to the pre-elastic behaviour.
+        ``None`` is returned when no other replica is eligible (bare
+        engine / single-replica cluster / everything else draining) —
+        the hedge is skipped, never self-duplicated.
         """
         n = len(outstanding)
-        candidates = [i for i in range(n) if i != primary]
+        pool = range(n) if eligible is None else eligible
+        candidates = [i for i in pool if i != primary]
         if not candidates:
             return None
 

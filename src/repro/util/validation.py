@@ -13,6 +13,8 @@ __all__ = [
     "check_in_range",
     "check_shard_count",
     "check_shard_concurrency",
+    "check_count",
+    "check_non_empty",
 ]
 
 
@@ -55,6 +57,38 @@ def check_shard_count(name: str, value) -> int:
     if as_int != value or as_int < 1:
         raise ValueError(f"{name} must be an integer >= 1, got {value!r}")
     return as_int
+
+
+def check_count(name: str, value, minimum: int = 0) -> int:
+    """Require an integral count >= ``minimum``; return it as ``int``.
+
+    The generic sibling of :func:`check_shard_count`, used by the
+    workload/autoscaler layer for arrival counts, period counts, and
+    fleet-size bounds.
+    """
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be an integer >= {minimum}, got {value!r}"
+        ) from None
+    if as_int != value or as_int < minimum:
+        raise ValueError(
+            f"{name} must be an integer >= {minimum}, got {value!r}"
+        )
+    return as_int
+
+
+def check_non_empty(name: str, value):
+    """Require a non-empty sequence; return it for chaining.
+
+    A zero-length workload (no periods, no arrivals) would otherwise
+    hang a closed loop or silently produce an empty run; failing fast
+    with the parameter name keeps the error at the call site.
+    """
+    if len(value) == 0:
+        raise ValueError(f"{name} must be non-empty, got 0 entries")
+    return value
 
 
 def check_shard_concurrency(name: str, value, n_shards: int):

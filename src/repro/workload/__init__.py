@@ -1,0 +1,49 @@
+"""Trace-driven workloads and elastic autoscaling.
+
+``repro.workload`` owns everything about *offered load*: the
+:class:`Workload` abstraction (per-period arrival counts, replayable
+from JSON, deterministic per seed), generators for canonical shapes
+(diurnal, bursty, multi-tenant), and the :class:`Autoscaler` that
+tracks a workload with an elastic replica fleet on the sim event loop.
+See ``docs/WORKLOADS.md``.
+"""
+
+from repro.workload.autoscaler import (
+    AUTOSCALER_NAMES,
+    Autoscaler,
+    ForecastPolicy,
+    ReactivePolicy,
+    ScalingEvent,
+    ScalingPolicy,
+    ScalingSignals,
+    make_scaling_policy,
+)
+from repro.workload.capacity import sustained_rate
+from repro.workload.trace import (
+    WORKLOAD_NAMES,
+    Workload,
+    WorkloadPeriod,
+    bursty_workload,
+    diurnal_workload,
+    make_workload,
+    multi_tenant_workload,
+)
+
+__all__ = [
+    "AUTOSCALER_NAMES",
+    "Autoscaler",
+    "ForecastPolicy",
+    "ReactivePolicy",
+    "ScalingEvent",
+    "ScalingPolicy",
+    "ScalingSignals",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "WorkloadPeriod",
+    "bursty_workload",
+    "diurnal_workload",
+    "make_scaling_policy",
+    "make_workload",
+    "multi_tenant_workload",
+    "sustained_rate",
+]

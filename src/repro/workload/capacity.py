@@ -1,0 +1,40 @@
+"""Capacity-planning helpers shared by examples and experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["sustained_rate"]
+
+
+def sustained_rate(outcomes: Sequence[tuple[float, bool]]) -> float:
+    """Highest rate sustained *before the first SLO miss*.
+
+    ``outcomes`` is an ascending sweep of ``(rate_qps, slo_met)``
+    pairs. The sustained rate is the last passing rate of the prefix
+    that precedes the first miss — a pass at a higher rate after a miss
+    does **not** count (queueing systems are not monotone run-to-run at
+    finite sample sizes, but a deployer cannot operate above a rate
+    that already violated the SLO). Returns 0.0 when the very first
+    rate misses.
+
+    The sweep must be strictly increasing in rate; anything else is a
+    caller bug that would silently misreport capacity.
+
+    >>> sustained_rate([(0.5, True), (1.0, True), (1.5, False), (3.0, True)])
+    1.0
+    >>> sustained_rate([(0.5, False), (1.0, True)])
+    0.0
+    """
+    rates = [rate for rate, _ in outcomes]
+    if any(b <= a for a, b in zip(rates, rates[1:])):
+        raise ValueError(
+            f"outcomes must be sorted by strictly increasing rate, got "
+            f"rates {rates!r}"
+        )
+    best = 0.0
+    for rate, met in outcomes:
+        if not met:
+            break
+        best = rate
+    return best

@@ -74,6 +74,24 @@ class TestExtraction:
         # Simulated numbers are deterministic, not wall-clock floors.
         assert not any(m.wall_clock for m, _ in metrics.values())
 
+    def test_autoscale_keys_rows_by_fleet(self):
+        payload = {"rows": [
+            {"fleet": "static-3", "slo_attainment": 1.0,
+             "dollars_per_query": 5.4e-4, "p99_delay_s": 1.4,
+             "scale_ups": 0, "retires": 0},
+            {"fleet": "forecast", "slo_attainment": 1.0,
+             "dollars_per_query": 3.3e-4, "p99_delay_s": 2.4,
+             "scale_ups": 4, "retires": 4},
+        ]}
+        metrics = extract_metrics("autoscale_trace.json", payload)
+        assert "fleet=forecast:dollars_per_query" in metrics
+        assert "fleet=static-3:slo_attainment" in metrics
+        # Event counts ride in the artifact but are not gated.
+        assert len(metrics) == 6
+        assert not any(m.wall_clock for m, _ in metrics.values())
+        assert metrics["fleet=forecast:slo_attainment"][0].higher_better
+        assert not metrics["fleet=forecast:p99_delay_s"][0].higher_better
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError, match="no metric spec"):
             extract_metrics("bench_unknown.json", {})
@@ -99,6 +117,10 @@ class TestGateEndToEnd:
             {"rows": [{"shards": 1, "reranker": "off",
                        "throughput_qps": qps, "mean_retrieval_s": 0.5,
                        "p99_retrieval_s": 1.0}]}))
+        (root / "autoscale_trace.json").write_text(json.dumps(
+            {"rows": [{"fleet": "forecast", "slo_attainment": 1.0,
+                       "dollars_per_query": 3.3e-4,
+                       "p99_delay_s": 2.4}]}))
 
     def test_matching_numbers_pass(self, dirs, capsys):
         artifacts, baselines = dirs

@@ -167,6 +167,49 @@ def test_fig_speculation_fast():
     assert len(report.notes) == 2
 
 
+def test_fig_autoscale_fast():
+    """Acceptance bar (ISSUE 6): across a compressed diurnal day, the
+    forecast autoscaler matches the static-peak fleet's SLO attainment
+    within 2 points at measurably lower $/query, static-1 is cheapest
+    but drops queries at the peak, and only the elastic arms actually
+    scale."""
+    from repro.experiments import fig_autoscale
+
+    report = fig_autoscale.run(fast=True)
+    rows = {r["fleet"]: r for r in report.rows}
+    assert set(rows) == {"static-1", "static-3", "reactive", "forecast"}
+
+    static_1, static_3 = rows["static-1"], rows["static-3"]
+    reactive, forecast = rows["reactive"], rows["forecast"]
+    # Every arm served the whole trace.
+    assert len({r["queries"] for r in report.rows}) == 1
+    assert static_1["queries"] > 0
+
+    # Headline: forecast attainment within 2 points of the peak-sized
+    # static fleet, at measurably lower cost per query.
+    assert forecast["slo_attainment"] >= static_3["slo_attainment"] - 0.02
+    assert forecast["dollars_per_query"] < 0.85 * static_3["dollars_per_query"]
+
+    # static-1 is the cheap-but-broken corner: lowest $/query, worst
+    # attainment (the midday peak exceeds one replica's capacity).
+    assert static_1["dollars_per_query"] == min(
+        r["dollars_per_query"] for r in report.rows)
+    assert static_1["slo_attainment"] < static_3["slo_attainment"]
+    assert static_1["n_replicas_peak"] == 1
+
+    # Static fleets never scale; elastic arms both grow and unwind.
+    for row in (static_1, static_3):
+        assert row["scale_ups"] == 0 and row["retires"] == 0
+    for row in (reactive, forecast):
+        assert row["scale_ups"] > 0
+        assert row["retires"] > 0
+        assert row["n_replicas_peak"] > 1
+    # Tracking the diurnal shape wastes less capacity than paying for
+    # the peak all day.
+    assert forecast["idle_fraction"] < static_3["idle_fraction"]
+    assert len(report.notes) == 3
+
+
 @pytest.mark.slow
 def test_fig19_fast():
     report = fig19_lowload.run(fast=True)
