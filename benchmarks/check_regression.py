@@ -1,8 +1,9 @@
 """Benchmark regression gate: compare fresh artifacts to baselines.
 
 CI's ``bench-regression`` job runs the micro-benchmarks
-(``bench_cluster_events.py``, ``bench_retrieval_shards.py``,
-``bench_autoscale.py``) in fast mode, then invokes this script to compare the freshly written
+(``bench_cluster_events.py``, ``bench_kernel_micro.py``,
+``bench_retrieval_shards.py``, ``bench_autoscale.py``) in fast mode,
+then invokes this script to compare the freshly written
 ``benchmarks/artifacts/*.json`` against the **committed**
 ``benchmarks/baselines/*.json``. Any gated metric that regresses by
 more than the tolerance (default 25%, ``REPRO_BENCH_TOLERANCE``)
@@ -79,6 +80,11 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
             Metric("events_per_sec", higher_better=True, wall_clock=True),
             float(payload["events_per_sec"]),
         )
+    elif artifact_name == "kernel_micro.json":
+        out["ops_per_sec"] = (
+            Metric("ops_per_sec", higher_better=True, wall_clock=True),
+            float(payload["ops_per_sec"]),
+        )
     elif artifact_name == "retrieval_shard_sweep.json":
         for row in payload["rows"]:
             key = _shard_key(row)
@@ -118,8 +124,16 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
 
 
 GATED_ARTIFACTS = ("bench_cluster_events.json",
+                   "kernel_micro.json",
                    "retrieval_shard_sweep.json",
                    "autoscale_trace.json")
+
+#: Artifacts whose gated metric is a machine-dependent throughput;
+#: ``--update`` records ``metric * WALL_CLOCK_DERATE`` as a floor.
+WALL_CLOCK_ARTIFACTS = {
+    "bench_cluster_events.json": "events_per_sec",
+    "kernel_micro.json": "ops_per_sec",
+}
 
 
 def compare(metric: Metric, baseline: float, measured: float,
@@ -164,9 +178,12 @@ def run_gate(tolerance: float) -> int:
             regressed, change = compare(metric, base_value, value, tolerance)
             tag = "wall-clock floor" if metric.wall_clock else "deterministic"
             verdict = "FAIL" if regressed else "ok"
+            # measured/baseline ratio on every line — passing runs show
+            # headroom trends in the nightly logs, not just failures.
+            ratio = value / base_value if base_value else float("inf")
             lines.append(
                 f"  [{verdict}] {name}:{key}: measured {value:.6g} vs "
-                f"baseline {base_value:.6g} ({tag}, "
+                f"baseline {base_value:.6g} (ratio {ratio:.2f}x, {tag}, "
                 f"{'regression' if change > 0 else 'improvement'} "
                 f"{abs(change) * 100:.1f}%)"
             )
@@ -202,12 +219,13 @@ def update_baselines() -> int:
             return 1
         payload = json.loads(artifact_path.read_text())
         metrics = extract_metrics(name, payload)
-        if name == "bench_cluster_events.json":
+        if name in WALL_CLOCK_ARTIFACTS:
+            key = WALL_CLOCK_ARTIFACTS[name]
             baseline = dict(payload)
-            measured = metrics["events_per_sec"][1]
-            baseline["events_per_sec"] = measured * WALL_CLOCK_DERATE
+            measured = metrics[key][1]
+            baseline[key] = measured * WALL_CLOCK_DERATE
             baseline["_note"] = (
-                "events_per_sec is a wall-clock FLOOR: the measured "
+                f"{key} is a wall-clock FLOOR: the measured "
                 f"value ({measured:.0f}) de-rated by {WALL_CLOCK_DERATE} "
                 "to absorb slower CI runners; regenerate with "
                 "check_regression.py --update"

@@ -336,7 +336,81 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_sweep_parser() -> argparse.ArgumentParser:
+    """Parser for the ``--sweep`` surface (``repro --sweep ...``).
+
+    Kept separate from the subcommand parser so ``--sweep`` works as a
+    top-level flag: ``python -m repro.cli --sweep --seeds 0,1 --jobs 2``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro --sweep",
+        description="Fan deterministic (seed, config) sweep cells "
+                    "across worker processes and merge their results "
+                    "as canonical JSON (identical for any --jobs).",
+    )
+    parser.add_argument("--sweep", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--dataset", choices=DATASET_NAMES,
+                        default="finsec")
+    parser.add_argument("--policy", default="metis",
+                        choices=("metis", "adaptive-rag", "median",
+                                 "vllm", "parrot"))
+    parser.add_argument("--config", default=None,
+                        help="method/num_chunks[/ilen] (for vllm/parrot)")
+    parser.add_argument("--seeds", default="0",
+                        help="comma-separated seed axis (default 0)")
+    parser.add_argument("--rates", default=None,
+                        help="comma-separated qps axis "
+                             "(default: dataset-calibrated)")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument("--router", choices=ROUTER_NAMES,
+                        default="least-kv-load")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = sequential "
+                             "in-process; results are identical "
+                             "either way)")
+    parser.add_argument("--output", default=None,
+                        help="write merged JSON here instead of stdout")
+    return parser
+
+
+def _cmd_sweep(argv: list[str]) -> int:
+    from repro.sweep import canonical_json, expand_cells, sweep
+
+    args = make_sweep_parser().parse_args(argv)
+    try:
+        seeds = [int(s) for s in args.seeds.split(",")]
+        rates = ([float(r) for r in args.rates.split(",")]
+                 if args.rates else None)
+    except ValueError:
+        print("error: --seeds/--rates must be comma-separated numbers",
+              file=sys.stderr)
+        return 2
+    base = dict(dataset=args.dataset, policy=args.policy,
+                config=args.config, queries=args.queries,
+                replicas=args.replicas, router=args.router)
+    cells = expand_cells(base, seeds=seeds, rates=rates)
+    merged = sweep(cells, jobs=args.jobs)
+    text = canonical_json(merged)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(cells)} cells -> {args.output}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--sweep" in argv:
+        try:
+            return _cmd_sweep(argv)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     args = make_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -53,6 +53,8 @@ from repro.serving.request import InferenceRequest
 from repro.util.rng import stream
 from repro.util.validation import check_positive
 
+_INF = float("inf")
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim -> serving)
     from repro.sim import EventLoop, StepDriver
 
@@ -175,9 +177,12 @@ def make_router(name: str, seed: int = 0) -> Router:
 # ----------------------------------------------------------------------
 # Cluster
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass
 class ClusterStepInfo:
-    """One cluster iteration: which replica stepped and what it did."""
+    """One cluster iteration: which replica stepped and what it did.
+
+    Non-frozen for the same hot-path reason as :class:`StepInfo`;
+    treat instances as immutable."""
 
     replica_id: int
     info: StepInfo
@@ -253,6 +258,11 @@ class ClusterEngine:
                        if isinstance(router, str) else router)
         self._pins: dict[str, int] = {}
         self._assignments: dict[int, int] = {}  # request_id -> replica
+        #: Bumped whenever a replica's busy set / clock can change
+        #: outside :meth:`step` itself (submit, cancel, add_replica) —
+        #: lets ``step_and_frontier`` reuse its pre-step scan when the
+        #: stepped replica was provably the only thing that moved.
+        self._busy_version = 0
         #: Called after every ``submit`` (admission may need a wake /
         #: frontier re-arm); set by :meth:`attach`.
         self.wake_hook: Callable[[], None] | None = None
@@ -292,32 +302,58 @@ class ClusterEngine:
         reached. Note the frontier is not monotone: admission to an
         idle replica of a busy cluster pulls it backwards.
         """
-        busy = [r.now for r in self.replicas if r.has_work()]
-        if busy:
-            return min(busy)
-        return max(r.now for r in self.replicas)
+        busy_min = _INF
+        idle_max = float("-inf")
+        for r in self.replicas:
+            rn = r.now
+            if r._waiting or r._running:
+                if rn < busy_min:
+                    busy_min = rn
+            elif rn > idle_max:
+                idle_max = rn
+        if busy_min != _INF:
+            return busy_min
+        return idle_max
 
     @property
     def stats(self) -> EngineStats:
         """Cluster-aggregate counters (peak KV is the max over replicas)."""
         agg = EngineStats()
         for r in self.replicas:
-            agg.iterations += r.stats.iterations
-            agg.busy_seconds += r.stats.busy_seconds
-            agg.prefill_tokens += r.stats.prefill_tokens
-            agg.decode_tokens += r.stats.decode_tokens
-            agg.requests_finished += r.stats.requests_finished
-            agg.admission_stalls += r.stats.admission_stalls
-            agg.wakeups += r.stats.wakeups
-            agg.requests_cancelled += r.stats.requests_cancelled
-            agg.cancelled_prefill_tokens += r.stats.cancelled_prefill_tokens
-            agg.cancelled_decode_tokens += r.stats.cancelled_decode_tokens
+            stats = r.stats
+            agg.iterations += stats.iterations
+            agg.busy_seconds += stats.busy_seconds
+            agg.prefill_tokens += stats.prefill_tokens
+            agg.decode_tokens += stats.decode_tokens
+            agg.requests_finished += stats.requests_finished
+            agg.admission_stalls += stats.admission_stalls
+            agg.wakeups += stats.wakeups
+            agg.requests_cancelled += stats.requests_cancelled
+            agg.cancelled_prefill_tokens += stats.cancelled_prefill_tokens
+            agg.cancelled_decode_tokens += stats.cancelled_decode_tokens
             agg.peak_kv_utilization = max(agg.peak_kv_utilization,
-                                          r.stats.peak_kv_utilization)
+                                          stats.peak_kv_utilization)
         return agg
 
     def has_work(self) -> bool:
-        return any(r.has_work() for r in self.replicas)
+        for r in self.replicas:
+            if r._waiting or r._running:
+                return True
+        return False
+
+    def frontier(self) -> float | None:
+        """Fused ``has_work``/``now`` probe for the StepDriver.
+
+        One replica scan returning the earliest busy replica clock (==
+        :attr:`now` whenever the cluster has work), or ``None`` when
+        every replica is idle — halves the per-arm scan cost versus
+        calling ``has_work()`` and ``now`` separately.
+        """
+        best = _INF
+        for r in self.replicas:
+            if (r._waiting or r._running) and r.now < best:
+                best = r.now
+        return None if best == _INF else best
 
     def total_free_kv_bytes(self) -> float:
         return sum(r.free_kv_bytes() for r in self.replicas)
@@ -378,6 +414,7 @@ class ClusterEngine:
         engine = ServingEngine(self.config, speed=float(speed))
         engine.advance_to(at)
         self.replicas.append(engine)
+        self._busy_version += 1
         self.replica_speeds = self.replica_speeds + (float(speed),)
         self._state.append("active")
         self.provisioned_at.append(float(at))
@@ -533,6 +570,7 @@ class ClusterEngine:
             rid = self._checked_select()
         submitted = self.replicas[rid].submit(request)
         self._assignments[request.request_id] = rid
+        self._busy_version += 1
         if self.wake_hook is not None:
             # Admission may wake an idle cluster or regress the
             # frontier (an idle replica's clock trails busy ones);
@@ -543,7 +581,30 @@ class ClusterEngine:
     def advance_to(self, t: float) -> None:
         """Move every replica's clock forward to ``t`` (never backward)."""
         for r in self.replicas:
-            r.advance_to(t)
+            if t > r.now:
+                r.now = t
+
+    def advance_and_observe(self, t: float) -> float:
+        """:meth:`advance_to` fused with the post-advance :attr:`now`.
+
+        The event loop reads a source's clock right after advancing it
+        (the external-event clamp); doing both in one replica scan
+        halves the per-arrival scan cost. Equivalent because
+        ``min_i max(r_i, t) == max(min_i r_i, t)`` — the busy-minimum
+        after the advance is exactly the clamped busy-minimum before.
+        """
+        busy_min = _INF
+        idle_max = float("-inf")
+        for r in self.replicas:
+            rn = r.now
+            if t > rn:
+                r.now = rn = t
+            if r._waiting or r._running:
+                if rn < busy_min:
+                    busy_min = rn
+            elif rn > idle_max:
+                idle_max = rn
+        return busy_min if busy_min != _INF else idle_max
 
     def cancel(self, request: InferenceRequest) -> bool:
         """Tear down an in-flight request on whichever replica holds it.
@@ -559,24 +620,87 @@ class ClusterEngine:
         if not self.replicas[rid].cancel(request):
             return False
         self._assignments.pop(request.request_id, None)
+        self._busy_version += 1
         return True
 
-    def step(self) -> ClusterStepInfo:
+    def step(self, build_info: bool = True) -> ClusterStepInfo | list:
         """Advance the lagging busy replica by one engine iteration.
 
         This is the single stepping rule for both driving modes: the
         event-driven :class:`~repro.sim.driver.StepDriver` calls it
         once per fired step event, and manual loops call it directly —
         the min-clock / min-index order makes the two byte-identical.
+
+        ``build_info=False`` mirrors :meth:`ServingEngine.step`'s quiet
+        fast path (raw finished list instead of a ClusterStepInfo).
         """
-        busy = [i for i, r in enumerate(self.replicas) if r.has_work()]
-        if not busy:
+        rid = -1
+        best = _INF
+        for i, r in enumerate(self.replicas):
+            if (r._waiting or r._running) and r.now < best:
+                best = r.now
+                rid = i
+        if rid < 0:
             raise RuntimeError("step() called on an idle cluster")
-        rid = min(busy, key=lambda i: (self.replicas[i].now, i))
+        if not build_info:
+            finished = self.replicas[rid].step(False)
+            if finished:
+                assignments = self._assignments
+                for req in finished:
+                    assignments.pop(req.request_id, None)
+            return finished
         info = self.replicas[rid].step()
-        for finished in info.finished:
-            self._assignments.pop(finished.request_id, None)
-        return ClusterStepInfo(replica_id=rid, info=info)
+        if info.finished:
+            assignments = self._assignments
+            for finished in info.finished:
+                assignments.pop(finished.request_id, None)
+        return ClusterStepInfo(rid, info)
+
+    def step_and_frontier(self) -> float | None:
+        """Quiet step fused with the post-step frontier probe.
+
+        One call for the StepDriver's no-observer hot path: advances
+        the lagging busy replica exactly like ``step(False)``, then
+        returns :meth:`frontier` — saving a second full replica scan
+        and two method dispatches per step event. Same min-clock /
+        min-index rule, so dispatch order is byte-identical.
+        """
+        replicas = self.replicas
+        rid = -1
+        best = _INF
+        second = _INF
+        for i, r in enumerate(replicas):
+            if r._waiting or r._running:
+                rn = r.now
+                if rn < best:
+                    second = best
+                    best = rn
+                    rid = i
+                elif rn < second:
+                    second = rn
+        if rid < 0:
+            raise RuntimeError("step() called on an idle cluster")
+        version = self._busy_version
+        stepped = replicas[rid]
+        finished = stepped.step(False)
+        if finished:
+            assignments = self._assignments
+            for req in finished:
+                assignments.pop(req.request_id, None)
+        if self._busy_version == version:
+            # Nothing submitted/cancelled during the step: only the
+            # stepped replica moved, so the new frontier is the pre-step
+            # runner-up vs. its own advanced clock.
+            if stepped._waiting or stepped._running:
+                rn = stepped.now
+                if rn < second:
+                    second = rn
+            return None if second == _INF else second
+        best = _INF
+        for r in replicas:
+            if (r._waiting or r._running) and r.now < best:
+                best = r.now
+        return None if best == _INF else best
 
     def attach(self, loop: "EventLoop") -> "StepDriver":
         """Run this cluster's replicas as first-class events on ``loop``.

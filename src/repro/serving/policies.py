@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
+from operator import attrgetter
 
 from repro.serving.request import InferenceRequest
 
@@ -23,6 +24,12 @@ class SchedulingPolicy(ABC):
 
     name: str = "base"
 
+    #: True when :meth:`order` depends only on the waiting list (the
+    #: running set never shifts the order) — lets the engine cache the
+    #: ordering across iterations while the waiting queue is unchanged
+    #: (a stall-bound engine re-sorts every step otherwise).
+    waiting_only: bool = False
+
     @abstractmethod
     def order(self, waiting: list[InferenceRequest],
               running: list[InferenceRequest]) -> list[InferenceRequest]:
@@ -33,13 +40,15 @@ class FCFSPolicy(SchedulingPolicy):
     """First come, first served (ties broken by submit order)."""
 
     name = "fcfs"
+    waiting_only = True
+
+    _key = attrgetter("priority", "arrival_time", "request_id")
 
     def order(self, waiting: list[InferenceRequest],
               running: list[InferenceRequest]) -> list[InferenceRequest]:
-        return sorted(
-            waiting,
-            key=lambda r: (r.priority, r.arrival_time, r.request_id),
-        )
+        if len(waiting) < 2:
+            return list(waiting)
+        return sorted(waiting, key=self._key)
 
 
 class AppAwarePolicy(SchedulingPolicy):

@@ -29,9 +29,16 @@ class RequestPhase(enum.Enum):
     CANCELLED = "cancelled"
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class InferenceRequest:
     """One LLM call scheduled on the engine.
+
+    Identity semantics (``eq=False``): two requests are never "equal by
+    value" — ``request_id`` is unique per instance — so comparisons fall
+    back to ``is``, which keeps the engine's queue ``list.remove`` calls
+    O(n) pointer compares instead of field-by-field dataclass equality.
+    ``slots=True`` because the engine's per-iteration loops touch every
+    running request's counters — slot access skips the instance dict.
 
     Attributes:
         prompt_tokens: prompt length to prefill.

@@ -32,6 +32,16 @@ finished request's callback submits the next synthesis stage) are
 deferred: the driver re-arms once the step returns, observing the
 post-step frontier.
 
+Re-arms are additionally **batched per dispatch**: notifications that
+arrive while an event handler is running (a burst handler submitting N
+requests, a completion fan-out admitting N same-instant follow-ups) are
+coalesced through :meth:`~repro.sim.kernel.EventLoop.defer` into a
+single arm/reschedule once the handler returns — one step event
+scheduled, not N. The armed event still exists before the loop selects
+its next event, at the same ``(time, rank)`` it would have had, so
+dispatch order is byte-identical to the eager re-arm (the step event is
+the only event its later ``seq`` could tie against).
+
 Lockstep equivalence
 --------------------
 
@@ -79,12 +89,27 @@ class StepDriver:
         self.on_step = on_step
         self._armed: Event | None = None
         self._in_step = False
+        self._rearm_deferred = False
         #: idle -> busy transitions (a step event newly armed)
         self.n_wakes = 0
         #: busy -> idle transitions (the driver stopped scheduling)
         self.n_sleeps = 0
         #: steps dispatched through the loop
         self.n_steps = 0
+        # Substrates may expose ``frontier()`` — a fused
+        # has_work-and-now probe (None when idle) that saves one full
+        # replica scan per arm on clusters; fall back to the two-call
+        # Steppable protocol otherwise.
+        frontier = getattr(substrate, "frontier", None)
+        if frontier is None:
+            def frontier() -> float | None:
+                return substrate.now if substrate.has_work() else None
+        self._frontier = frontier
+        # Substrates may also expose ``step_and_frontier()`` — one
+        # quiet iteration (no Step/ClusterStepInfo built) fused with
+        # the post-step frontier probe — which the driver uses
+        # whenever no ``on_step`` observer is attached.
+        self._step_quiet = getattr(substrate, "step_and_frontier", None)
         loop.attach(substrate)
         self._arm(wake=True)
 
@@ -98,16 +123,27 @@ class StepDriver:
         """Admission happened: wake or re-arm to the new frontier.
 
         Safe to call at any time; during a step it defers to the
-        post-step re-arm (which observes the final frontier).
+        post-step re-arm (which observes the final frontier), and
+        during any other event handler it coalesces with every other
+        notification of that handler into one post-dispatch arm.
         """
-        if self._in_step:
+        if self._in_step or self._rearm_deferred:
             return
+        if self.loop.in_dispatch:
+            self._rearm_deferred = True
+            self.loop.defer(self._deferred_arm)
+        else:
+            self._arm(wake=True)
+
+    def _deferred_arm(self) -> None:
+        self._rearm_deferred = False
         self._arm(wake=True)
 
-    def _arm(self, wake: bool) -> None:
-        if not self.substrate.has_work():
-            return
-        frontier = self.substrate.now
+    def _arm(self, wake: bool, frontier: float | None = None) -> None:
+        if frontier is None:
+            frontier = self._frontier()
+            if frontier is None:
+                return
         if self._armed is None:
             if wake:
                 self.n_wakes += 1
@@ -122,18 +158,33 @@ class StepDriver:
             self._armed = self.loop.reschedule(self._armed, frontier)
 
     def _on_step(self, t: float, _payload: object) -> None:
+        fired = self._armed
         self._armed = None
         if not self.substrate.has_work():  # pragma: no cover - defensive
             return
-        self._in_step = True
-        try:
-            result = self.substrate.step()
-        finally:
-            self._in_step = False
-        self.n_steps += 1
-        if self.on_step is not None:
-            self.on_step(result)
-        if self.substrate.has_work():
-            self._arm(wake=False)
+        observer = self.on_step
+        if observer is None and self._step_quiet is not None:
+            self._in_step = True
+            try:
+                frontier = self._step_quiet()
+            finally:
+                self._in_step = False
+            self.n_steps += 1
+        else:
+            self._in_step = True
+            try:
+                result = self.substrate.step()
+            finally:
+                self._in_step = False
+            self.n_steps += 1
+            if observer is not None:
+                observer(result)
+            frontier = self._frontier()
+        if frontier is not None:
+            # _arm inlined: the event popped above cleared self._armed,
+            # and any notify() during the step was a no-op, so this is
+            # always the plain (non-wake) schedule branch — which reuses
+            # the just-fired event instead of allocating a new one.
+            self._armed = self.loop.rearm(fired, frontier)
         else:
             self.n_sleeps += 1

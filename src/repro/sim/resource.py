@@ -24,6 +24,14 @@ cancellation instant, reclaims the unused tail of its ``busy_seconds``
 charge, and hands the freed slot to the longest-waiting queued request
 — so a finite pool never strands capacity behind a dead query (pinned
 by ``tests/test_speculation_properties.py``).
+
+``coalesce=True`` opt-in (the profiler uses it): whenever a slot
+frees with requests waiting, the **entire queue dispatches as one
+merged grant** — a single amortized call holding one slot for the
+*max* member hold, after which every member's callback fires (FIFO) at
+the shared completion. Requests granted immediately on arrival are
+untouched, so an uncontended coalescing resource is indistinguishable
+from a plain one — default (unbounded) golden schedules hold.
 """
 
 from __future__ import annotations
@@ -46,7 +54,13 @@ ResourceCallback = Callable[[float, float], None]
 
 @dataclass
 class ResourceStats:
-    """Cumulative counters for one resource over one run."""
+    """Cumulative counters for one resource over one run.
+
+    Snapshot object: the hot path (:meth:`Resource.request` /
+    ``_grant`` / ``_on_done``) accumulates raw counters on plain
+    ``Resource`` attributes; :attr:`Resource.stats` materializes this
+    dataclass on access and the derived figures (mean delay, queued
+    fraction, utilization) are computed only at report time."""
 
     name: str
     concurrency: float  # math.inf when unbounded
@@ -99,7 +113,7 @@ class Lease:
     CANCELLED = "cancelled"
 
     __slots__ = ("resource", "state", "request_time", "hold_seconds",
-                 "callback", "grant_time", "event")
+                 "callback", "grant_time", "event", "batched")
 
     def __init__(self, resource: "Resource", request_time: float,
                  hold_seconds: float, callback: ResourceCallback) -> None:
@@ -111,6 +125,8 @@ class Lease:
         self.grant_time: float | None = None
         #: the scheduled ``<name>:done`` completion event while HELD
         self.event: "Event | None" = None
+        #: True while HELD as a member of a coalesced (merged) grant.
+        self.batched = False
 
     @property
     def end_time(self) -> float:
@@ -142,18 +158,53 @@ class Resource:
     """
 
     def __init__(self, name: str, loop: EventLoop,
-                 concurrency: int | None = None) -> None:
+                 concurrency: int | None = None,
+                 coalesce: bool = False) -> None:
         if concurrency is not None:
             check_positive("concurrency", concurrency)
         self.name = name
         self.loop = loop
         self.concurrency = float("inf") if concurrency is None else int(concurrency)
-        self.stats = ResourceStats(name=name, concurrency=float(self.concurrency))
+        #: Merge the whole wait queue into one amortized grant whenever
+        #: a slot frees (see the module docstring). Never engages while
+        #: the resource is uncontended.
+        self.coalesce = bool(coalesce)
+        #: Optional observer for coalescing resources: called with the
+        #: member leases of every merged grant at dispatch time — the
+        #: pipeline uses it to charge one ledger entry per batched
+        #: profiler call instead of one per query.
+        self.on_batch: Callable[[list["Lease"]], None] | None = None
         self.in_service = 0
         #: queued leases in arrival order
         self._queue: deque[Lease] = deque()
+        # Raw stats counters (see ResourceStats: the dataclass is built
+        # lazily by the ``stats`` property at report time).
+        self._n_requests = 0
+        self._n_queued = 0
+        self._n_cancelled = 0
+        self._busy_seconds = 0.0
+        self._total_queue_delay = 0.0
+        self._max_queue_delay = 0.0
+        self._peak_in_service = 0
+        self._peak_queue_len = 0
 
     # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ResourceStats:
+        """Cumulative counters as a snapshot (derived stats lazy)."""
+        return ResourceStats(
+            name=self.name,
+            concurrency=float(self.concurrency),
+            n_requests=self._n_requests,
+            n_queued=self._n_queued,
+            n_cancelled=self._n_cancelled,
+            busy_seconds=self._busy_seconds,
+            total_queue_delay=self._total_queue_delay,
+            max_queue_delay=self._max_queue_delay,
+            peak_in_service=self._peak_in_service,
+            peak_queue_len=self._peak_queue_len,
+        )
+
     @property
     def queue_len(self) -> int:
         return len(self._queue)
@@ -163,15 +214,15 @@ class Resource:
         """Ask for one slot at time ``t`` for ``hold_seconds``."""
         if hold_seconds < 0:
             raise ValueError(f"negative hold_seconds: {hold_seconds}")
-        self.stats.n_requests += 1
+        self._n_requests += 1
         lease = Lease(self, t, hold_seconds, callback)
         if self.in_service < self.concurrency:
             self._grant(lease, t)
             return lease
-        self.stats.n_queued += 1
+        self._n_queued += 1
         self._queue.append(lease)
-        self.stats.peak_queue_len = max(self.stats.peak_queue_len,
-                                        len(self._queue))
+        if len(self._queue) > self._peak_queue_len:
+            self._peak_queue_len = len(self._queue)
         return lease
 
     def cancel(self, lease: Lease, t: float) -> bool:
@@ -195,7 +246,7 @@ class Resource:
         if lease.state == Lease.QUEUED:
             self._queue.remove(lease)
             lease.state = Lease.CANCELLED
-            self.stats.n_cancelled += 1
+            self._n_cancelled += 1
             return True
         if lease.state != Lease.HELD:
             return False
@@ -203,28 +254,46 @@ class Resource:
             raise ValueError(
                 f"cancel at t={t} precedes lease grant at {lease.grant_time}"
             )
+        if lease.batched:
+            # A member of an in-flight merged call cannot be unsent:
+            # the shared call keeps its slot and its (amortized) cost;
+            # only this member's callback is dropped at completion.
+            lease.event = None
+            lease.state = Lease.CANCELLED
+            self._n_cancelled += 1
+            return True
         self.loop.cancel(lease.event)
         lease.event = None
         lease.state = Lease.CANCELLED
-        self.stats.n_cancelled += 1
+        self._n_cancelled += 1
         # Reclaim the hold time the cancelled lease never used.
-        self.stats.busy_seconds -= max(0.0, lease.end_time - t)
+        self._busy_seconds -= max(0.0, lease.end_time - t)
         self.in_service -= 1
-        if self._queue and self.in_service < self.concurrency:
-            self._grant(self._queue.popleft(), t)
+        self._drain(t)
         return True
 
     # ------------------------------------------------------------------
+    def _drain(self, t: float) -> None:
+        """Hand a freed slot to the queue: the longest-waiting request
+        (plain), or the whole queue as one merged grant (coalescing)."""
+        if not self._queue or self.in_service >= self.concurrency:
+            return
+        if self.coalesce:
+            self._grant_batch(t)
+        else:
+            self._grant(self._queue.popleft(), t)
+
     def _grant(self, lease: Lease, start_t: float) -> None:
         lease.state = Lease.HELD
         lease.grant_time = start_t
         self.in_service += 1
-        self.stats.peak_in_service = max(self.stats.peak_in_service,
-                                         self.in_service)
-        self.stats.busy_seconds += lease.hold_seconds
+        if self.in_service > self._peak_in_service:
+            self._peak_in_service = self.in_service
+        self._busy_seconds += lease.hold_seconds
         delay = start_t - lease.request_time
-        self.stats.total_queue_delay += delay
-        self.stats.max_queue_delay = max(self.stats.max_queue_delay, delay)
+        self._total_queue_delay += delay
+        if delay > self._max_queue_delay:
+            self._max_queue_delay = delay
         lease.event = self.loop.schedule(
             start_t + lease.hold_seconds,
             kind=f"{self.name}:done",
@@ -232,11 +301,57 @@ class Resource:
             payload=(lease, delay),
         )
 
+    def _grant_batch(self, start_t: float) -> None:
+        """Dispatch the entire wait queue as one amortized call.
+
+        The merged call occupies a single slot for the *max* member
+        hold and charges ``busy_seconds`` once — the amortization a
+        batched API endpoint provides. Member callbacks all fire at the
+        shared completion, in FIFO order, each with its own queue
+        delay.
+        """
+        batch = list(self._queue)
+        self._queue.clear()
+        hold = 0.0
+        for lease in batch:
+            lease.state = Lease.HELD
+            lease.batched = True
+            lease.grant_time = start_t
+            delay = start_t - lease.request_time
+            self._total_queue_delay += delay
+            if delay > self._max_queue_delay:
+                self._max_queue_delay = delay
+            if lease.hold_seconds > hold:
+                hold = lease.hold_seconds
+        self.in_service += 1
+        if self.in_service > self._peak_in_service:
+            self._peak_in_service = self.in_service
+        self._busy_seconds += hold
+        event = self.loop.schedule(
+            start_t + hold,
+            kind=f"{self.name}:done",
+            handler=self._on_batch_done,
+            payload=batch,
+        )
+        for lease in batch:
+            lease.event = event
+        if self.on_batch is not None:
+            self.on_batch(batch)
+
     def _on_done(self, t: float, payload) -> None:
         lease, delay = payload
         lease.state = Lease.DONE
         lease.event = None
         self.in_service -= 1
-        if self._queue and self.in_service < self.concurrency:
-            self._grant(self._queue.popleft(), t)
+        self._drain(t)
         lease.callback(t, delay)
+
+    def _on_batch_done(self, t: float, batch: list[Lease]) -> None:
+        self.in_service -= 1
+        self._drain(t)
+        for lease in batch:
+            if lease.state != Lease.HELD:
+                continue  # cancelled member of the merged call
+            lease.state = Lease.DONE
+            lease.event = None
+            lease.callback(t, lease.grant_time - lease.request_time)

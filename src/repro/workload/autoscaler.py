@@ -252,6 +252,8 @@ class Autoscaler:
         provision_delay_s: float = 30.0,
         window_s: float | None = None,
         workload: "Workload | None" = None,
+        cooldown_s: float | None = None,
+        down_debounce: int = 2,
     ) -> None:
         if policy is None:
             raise ValueError(
@@ -273,6 +275,20 @@ class Autoscaler:
         self.window_s = (float(window_s) if window_s is not None
                          else 4.0 * self.interval_s)
         check_positive("window_s", self.window_s)
+        # Anti-flapping hysteresis: no new scaling action within
+        # ``cooldown_s`` of the previous one (default two ticks), and
+        # a scale-down additionally requires ``down_debounce``
+        # *consecutive* ticks wanting it — sparse traces whose queue
+        # hovers around the thresholds stop oscillating
+        # provision/cancel every tick. ``cooldown_s=0.0`` and
+        # ``down_debounce=1`` restore the un-damped behavior.
+        self.cooldown_s = (float(cooldown_s) if cooldown_s is not None
+                           else 2.0 * self.interval_s)
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        self.down_debounce = check_count("down_debounce", down_debounce,
+                                         minimum=1)
         self.workload = workload
         #: Chronological fleet changes (see :class:`ScalingEvent`).
         self.events: list[ScalingEvent] = []
@@ -283,6 +299,8 @@ class Autoscaler:
         self._records = None
         self._horizon = 0.0
         self._pending_provisions: list = []  # pending provision Events
+        self._last_action_time = float("-inf")
+        self._down_streak = 0  # consecutive ticks wanting a scale-down
 
     # ------------------------------------------------------------------
     def start(self, loop: "EventLoop", engine: "ClusterEngine",
@@ -375,10 +393,23 @@ class Autoscaler:
                           max(self.scale_min,
                               self.policy.desired_fleet(signals)))
             provisioned = signals.n_active + signals.n_provisioning
+            # Hysteresis: the streak tracks what the policy *wants*
+            # (even while the cooldown blocks acting on it), so a
+            # sustained lull still winds down after the cooldown.
+            in_cooldown = t - self._last_action_time < self.cooldown_s
             if desired > provisioned:
-                self._scale_up(t, desired - provisioned)
+                self._down_streak = 0
+                if not in_cooldown:
+                    self._scale_up(t, desired - provisioned)
+                    self._last_action_time = t
             elif desired < provisioned:
-                self._scale_down(t, provisioned - desired)
+                self._down_streak += 1
+                if not in_cooldown and self._down_streak >= self.down_debounce:
+                    self._scale_down(t, provisioned - desired)
+                    self._last_action_time = t
+                    self._down_streak = 0
+            else:
+                self._down_streak = 0
         self._retire_drained(t)
         # Keep ticking while arrivals can still come (t < horizon), any
         # work or provision is in flight, a drain has not retired yet,

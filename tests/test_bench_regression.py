@@ -60,6 +60,13 @@ class TestExtraction:
         assert metric.wall_clock and metric.higher_better
         assert value == 50_000.0
 
+    def test_kernel_micro_gates_ops_per_sec(self):
+        metrics = extract_metrics("kernel_micro.json",
+                                  {"ops_per_sec": 1_000_000.0})
+        (metric, value), = metrics.values()
+        assert metric.wall_clock and metric.higher_better
+        assert value == 1_000_000.0
+
     def test_shard_sweep_keys_rows_by_shards_and_reranker(self):
         payload = {"rows": [
             {"shards": 1, "reranker": "off", "throughput_qps": 1.5,
@@ -113,6 +120,8 @@ class TestGateEndToEnd:
     def write(self, root: Path, events: float, qps: float) -> None:
         (root / "bench_cluster_events.json").write_text(json.dumps(
             {"events_per_sec": events}))
+        (root / "kernel_micro.json").write_text(json.dumps(
+            {"ops_per_sec": events * 10.0}))
         (root / "retrieval_shard_sweep.json").write_text(json.dumps(
             {"rows": [{"shards": 1, "reranker": "off",
                        "throughput_qps": qps, "mean_retrieval_s": 0.5,

@@ -165,6 +165,29 @@ class TestProfilerContention:
 
         assert fingerprint(run_once()) == fingerprint(run_once())
 
+    def test_saturated_profiler_batches_queued_calls(
+            self, finsec_bundle, engine_config):
+        """Queued profile requests coalesce into one amortized API call
+        per freed slot: fewer ledger calls and less profiler busy time
+        than the per-query holds would sum to — while the uncontended
+        run keeps exactly one charged call per query."""
+        arrivals = poisson_arrivals(finsec_bundle.queries, 10.0, seed=0)
+        contended = make_runner(
+            finsec_bundle, engine_config, profiler_concurrency=1,
+        ).run(make_metis(finsec_bundle), arrivals)
+        unbounded = make_runner(finsec_bundle, engine_config).run(
+            make_metis(finsec_bundle), arrivals)
+        # ProfileStage is the only n_api_calls writer, so the ledger
+        # counts profiler calls exactly.
+        assert unbounded.ledger.n_api_calls == len(unbounded.records)
+        assert contended.ledger.n_api_calls < len(contended.records)
+        stats = contended.resource_stats[PROFILER_RESOURCE]
+        requested = sum(r.profiler_seconds for r in contended.records)
+        assert stats.busy_seconds < requested - 1e-9
+        # A batched call charges its largest member once, not the sum.
+        assert (contended.ledger.api_dollars
+                < unbounded.ledger.api_dollars)
+
     def test_invalid_concurrency_rejected(self, finsec_bundle,
                                           engine_config):
         with pytest.raises(ValueError):

@@ -89,11 +89,11 @@ def assert_drained_clean(pipeline) -> None:
     loop = pipeline.loop
     assert len(loop) == 0, "live events left after drain"
     # Every cancelled event died as a tombstone: the dispatch ledger
-    # balances exactly, and whatever the heap still holds is tombstoned
-    # (lazy deletion never let it fire).
+    # balances exactly, and whatever the queue still holds is
+    # tombstoned (lazy deletion never let it fire).
     assert loop.n_scheduled == loop.n_dispatched + loop.n_cancelled
-    for entry in loop._heap:
-        assert entry[3].seq in loop._tombstones
+    for entry in loop.queued_entries():
+        assert not loop.is_pending(entry[3])
 
     resources = [pipeline.profiler, *pipeline.shard_resources]
     if pipeline.rerank_resource is not None:

@@ -1,0 +1,95 @@
+"""Parallel sweep runner: determinism, merge equality, CLI surface.
+
+The load-bearing test is sequential-vs-parallel canonical-JSON
+equality: per-seed simulations are pure functions of their parameters,
+so fanning cells across processes must reproduce the exact sequential
+results. (Wall-clock speedup is intentionally *not* asserted — it
+requires multiple physical cores; see docs/PERFORMANCE.md.)
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import (
+    CELL_DEFAULTS,
+    canonical_json,
+    expand_cells,
+    run_cell,
+    sweep,
+)
+
+# Small, fast cells: fixed-config baseline (no profiling stage), tiny
+# query count. Big enough to exercise the full serve/score pipeline.
+BASE = dict(dataset="finsec", policy="vllm", config="stuff/4", queries=3)
+
+
+def test_expand_cells_grid_order():
+    cells = expand_cells(BASE, seeds=[0, 1], rates=[1.0, 2.0])
+    assert len(cells) == 4
+    assert [(c["seed"], c["rate"]) for c in cells] == [
+        (0, 1.0), (0, 2.0), (1, 1.0), (1, 2.0)
+    ]
+    # Axes default to the base values when omitted.
+    assert expand_cells(BASE)[0]["seed"] == 0
+    assert len(expand_cells(BASE, seeds=[7])) == 1
+
+
+def test_unknown_cell_parameter_rejected():
+    with pytest.raises(ValueError, match="unknown sweep cell parameter"):
+        run_cell({**BASE, "polciy": "metis"})
+    with pytest.raises(ValueError, match="unknown sweep cell parameter"):
+        sweep([{"no_such_knob": 1}])
+
+
+def test_run_cell_returns_params_and_summary():
+    out = run_cell({**BASE, "seed": 3})
+    assert set(out) == {"params", "summary"}
+    assert out["params"]["seed"] == 3
+    # Defaults are filled in so the payload is self-describing.
+    assert set(CELL_DEFAULTS) <= set(out["params"])
+    assert out["summary"]["throughput_qps"] > 0
+
+
+def test_cells_are_independent_of_sweep_company():
+    """A cell's result does not depend on which cells ran before it."""
+    alone = sweep([{**BASE, "seed": 1}])["cells"][0]
+    second = sweep([{**BASE, "seed": 0}, {**BASE, "seed": 1}])["cells"][1]
+    assert canonical_json(alone) == canonical_json(second)
+
+
+@pytest.mark.slow
+def test_parallel_sweep_matches_sequential_exactly():
+    """jobs=N reproduces the per-seed sequential results byte for byte."""
+    cells = expand_cells(BASE, seeds=[0, 1, 2])
+    seq = sweep(cells, jobs=1)
+    par = sweep(cells, jobs=2)
+    assert canonical_json(seq) == canonical_json(par)
+    assert seq["n_cells"] == 3
+
+
+def test_canonical_json_is_order_insensitive():
+    a = canonical_json({"b": 1, "a": [1.5, {"y": 2, "x": 3}]})
+    b = canonical_json({"a": [1.5, {"x": 3, "y": 2}], "b": 1})
+    assert a == b
+    assert " " not in a
+
+
+def test_sweep_cli_writes_merged_json(tmp_path):
+    out = tmp_path / "sweep.json"
+    rc = main([
+        "--sweep", "--dataset", "finsec", "--policy", "vllm",
+        "--config", "stuff/4", "--seeds", "0,1", "--queries", "3",
+        "--jobs", "1", "--output", str(out),
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["n_cells"] == 2
+    assert [c["params"]["seed"] for c in payload["cells"]] == [0, 1]
+    # The file is the canonical serialization (stable for diffing).
+    assert out.read_text().strip() == canonical_json(payload)
+
+
+def test_sweep_cli_rejects_bad_axis():
+    assert main(["--sweep", "--seeds", "zero"]) == 2
