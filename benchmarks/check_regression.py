@@ -118,6 +118,21 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
                 Metric("p99_delay_s", higher_better=False),
                 float(row["p99_delay_s"]),
             )
+    elif artifact_name == "cache_zipf.json":
+        # Hit rates are deterministic (seeded trace, seeded keys);
+        # events_per_sec is the wall-clock hit-path throughput.
+        out["hit_rate"] = (
+            Metric("hit_rate", higher_better=True),
+            float(payload["hit_rate"]),
+        )
+        out["result_hit_rate"] = (
+            Metric("result_hit_rate", higher_better=True),
+            float(payload["result_hit_rate"]),
+        )
+        out["events_per_sec"] = (
+            Metric("events_per_sec", higher_better=True, wall_clock=True),
+            float(payload["events_per_sec"]),
+        )
     else:
         raise ValueError(f"no metric spec for artifact {artifact_name!r}")
     return out
@@ -126,13 +141,15 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
 GATED_ARTIFACTS = ("bench_cluster_events.json",
                    "kernel_micro.json",
                    "retrieval_shard_sweep.json",
-                   "autoscale_trace.json")
+                   "autoscale_trace.json",
+                   "cache_zipf.json")
 
 #: Artifacts whose gated metric is a machine-dependent throughput;
 #: ``--update`` records ``metric * WALL_CLOCK_DERATE`` as a floor.
 WALL_CLOCK_ARTIFACTS = {
     "bench_cluster_events.json": "events_per_sec",
     "kernel_micro.json": "ops_per_sec",
+    "cache_zipf.json": "events_per_sec",
 }
 
 

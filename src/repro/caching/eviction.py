@@ -1,0 +1,130 @@
+"""Pluggable cache-eviction policies: LRU, LFU, and cost-aware GDSF.
+
+A policy never stores entries itself — the cache owns the entry map —
+it only maintains per-entry ordering metadata (via the ``on_insert`` /
+``on_hit`` hooks) and answers "which entry goes" (``victim_key``).
+Everything is deterministic: every comparison ends in the entry's
+global insertion sequence number, so two runs of the same workload
+evict identically.
+
+GDSF (Greedy-Dual-Size-Frequency, Cherkasova '98) is the cost-aware
+policy the issue's tentpole calls for: each entry carries a *benefit*
+— the dollars (GPU rental priced from the
+:class:`~repro.evaluation.costs.CostLedger`'s model, plus seconds
+valued at the same rental rate) a hit on it saves — and its priority
+is ``clock + benefit * (hits + 1) / size``. The clock inflates to the
+evicted priority on every eviction, so long-resident entries age out
+unless hits keep re-inflating them; a high-benefit entry (an
+expensive multi-call synthesis) survives low-benefit ones at equal
+recency.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.caching.cache import CacheEntry
+
+__all__ = [
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "GDSFPolicy",
+    "EVICTION_NAMES",
+    "make_eviction",
+]
+
+
+class EvictionPolicy(ABC):
+    """Orders a cache's entries for eviction.
+
+    Policies may hold aggregate state (GDSF's clock) but never RNG;
+    ``victim_key`` must be a pure function of the entry metadata the
+    hooks maintained, so eviction is deterministic across runs.
+    """
+
+    name: str = "base"
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        """A fresh entry joined the cache."""
+
+    def on_hit(self, entry: "CacheEntry") -> None:
+        """An entry was served (its ``hits``/recency already bumped)."""
+
+    @abstractmethod
+    def victim_key(self, entries: Iterable["CacheEntry"]):
+        """Key of the entry to evict (the cache guarantees non-empty)."""
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least recently used entry (stalest access sequence)."""
+
+    name = "lru"
+
+    def victim_key(self, entries: Iterable["CacheEntry"]):
+        victim = min(entries, key=lambda e: (e.last_access, e.seq))
+        return victim.key
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the least frequently used entry; recency breaks ties."""
+
+    name = "lfu"
+
+    def victim_key(self, entries: Iterable["CacheEntry"]):
+        victim = min(entries, key=lambda e: (e.hits, e.last_access, e.seq))
+        return victim.key
+
+
+class GDSFPolicy(EvictionPolicy):
+    """Greedy-Dual-Size-Frequency with dollar-valued benefit scores.
+
+    ``priority = clock + benefit * (hits + 1) / size``; evict the
+    minimum, then inflate the clock to the evicted priority. A benefit
+    of 0 (nothing measurably saved) degrades to FIFO among zero-benefit
+    entries — the right behavior: there is nothing worth keeping.
+    """
+
+    name = "gdsf"
+
+    def __init__(self) -> None:
+        self.clock = 0.0
+
+    def _priority(self, entry: "CacheEntry") -> float:
+        size = entry.size if entry.size > 0 else 1.0
+        return self.clock + entry.benefit * (entry.hits + 1) / size
+
+    def on_insert(self, entry: "CacheEntry") -> None:
+        entry.priority = self._priority(entry)
+
+    def on_hit(self, entry: "CacheEntry") -> None:
+        entry.priority = self._priority(entry)
+
+    def victim_key(self, entries: Iterable["CacheEntry"]):
+        victim = min(entries, key=lambda e: (e.priority, e.seq))
+        self.clock = victim.priority
+        return victim.key
+
+
+#: Eviction-policy names accepted by :func:`make_eviction` (and
+#: ``--cache-eviction``).
+EVICTION_NAMES: tuple[str, ...] = ("lru", "lfu", "gdsf")
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "lfu": LFUPolicy,
+    "gdsf": GDSFPolicy,
+}
+
+
+def make_eviction(name: str | EvictionPolicy) -> EvictionPolicy:
+    """Instantiate an eviction policy by CLI name (fresh per cache:
+    GDSF's clock is per-cache state)."""
+    if isinstance(name, EvictionPolicy):
+        return name
+    if name in _POLICIES:
+        return _POLICIES[name]()
+    known = ", ".join(EVICTION_NAMES)
+    raise ValueError(f"unknown cache eviction {name!r}; known: {known}")

@@ -25,11 +25,13 @@ import importlib
 import sys
 
 from repro.baselines import FixedConfigPolicy, ParrotPolicy
+from repro.caching import EVICTION_NAMES, RESULT_CACHE_MODES
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.data import DATASET_NAMES, build_dataset
 from repro.evaluation.reports import (
     autoscale_rows,
     autoscale_summary,
+    cache_rows,
     format_table,
     per_replica_rows,
     resource_rows,
@@ -50,7 +52,7 @@ _EXPERIMENTS = (
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
     "fig19_lowload", "fig_retrieval_scaling", "fig_speculation",
-    "fig_autoscale",
+    "fig_autoscale", "fig_cache",
 )
 
 
@@ -167,6 +169,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale_max=args.scale_max,
         autoscale_interval=args.autoscale_interval,
         provision_delay=args.provision_delay,
+        result_cache=args.result_cache,
+        retrieval_cache=args.retrieval_cache,
+        cache_capacity=args.cache_capacity,
+        cache_eviction=args.cache_eviction,
+        semantic_threshold=args.semantic_threshold,
+        cache_ttl=args.cache_ttl,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
@@ -184,7 +192,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title += f" [{args.workload} workload]"
     if args.autoscaler != "none":
         title += f" [{args.autoscaler} autoscaler]"
+    cache_on = (args.result_cache not in (None, "off")
+                or args.retrieval_cache)
+    if cache_on:
+        tiers = []
+        if args.result_cache not in (None, "off"):
+            tiers.append(f"{args.result_cache} result")
+        if args.retrieval_cache:
+            tiers.append("retrieval")
+        title += f" [{'+'.join(tiers)} cache]"
     print(format_table(rows, title=title))
+    if cache_on:
+        print()
+        print(format_table(cache_rows(result), title="Cache tiers"))
     if args.replicas > 1 or args.autoscaler != "none":
         print()
         print(format_table(per_replica_rows(result),
@@ -322,6 +342,30 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--provision-delay", type=float, default=None,
                      help="seconds a scale-up takes to come online "
                           "(default 30)")
+    run.add_argument("--result-cache", choices=RESULT_CACHE_MODES,
+                     default=None,
+                     help="query-result cache: hits bypass retrieval "
+                          "and synthesis entirely (exact keys on "
+                          "normalized text + config; semantic adds "
+                          "embedding-similarity matches); off/omitted "
+                          "is byte-identical to no cache")
+    run.add_argument("--retrieval-cache", action="store_true",
+                     help="memoize top-k chunk ids per (query, shard "
+                          "config): hits skip scatter-gather but still "
+                          "synthesize")
+    run.add_argument("--cache-capacity", type=int, default=None,
+                     help="max entries per cache tier (default 256)")
+    run.add_argument("--cache-eviction", choices=EVICTION_NAMES,
+                     default=None,
+                     help="eviction policy (default lru; gdsf ranks "
+                          "entries by measured dollars+seconds saved)")
+    run.add_argument("--semantic-threshold", type=float, default=None,
+                     help="min cosine similarity for a semantic result "
+                          "hit (default 0.9; requires --result-cache "
+                          "semantic)")
+    run.add_argument("--cache-ttl", type=float, default=None,
+                     help="entry time-to-live in seconds (default: "
+                          "no expiry)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

@@ -69,6 +69,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.caching import (
+    CACHE_INSERT_SECONDS,
+    CacheConfig,
+    CachedAnswer,
+    CacheStats,
+    ResultCache,
+    RetrievalCache,
+)
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.core.policy import (
     ClusterSchedulingView,
@@ -80,6 +88,7 @@ from repro.core.policy import (
 from repro.data.types import DatasetBundle, Query
 from repro.data.workload import Arrival
 from repro.evaluation.costs import CostLedger
+from repro.evaluation.f1 import token_f1
 from repro.llm.generation import SimulatedGenerator
 from repro.retrieval.rerank import ExactReranker
 from repro.retrieval.sharded import SearchHit, ShardedVectorStore
@@ -94,9 +103,11 @@ from repro.serving.speculation import (
 from repro.sim import Event, EventLoop, Lease, Resource, ResourceStats
 from repro.synthesis import make_synthesizer
 from repro.synthesis.plans import SynthesisPlan
+from repro.util.ids import canonical_query_id
 from repro.util.validation import check_positive, check_shard_concurrency
 
 __all__ = [
+    "CACHE_RESOURCE",
     "PROFILER_RESOURCE",
     "RERANK_RESOURCE",
     "RETRIEVAL_RESOURCE",
@@ -112,6 +123,7 @@ __all__ = [
 PROFILER_RESOURCE = "profiler"
 RETRIEVAL_RESOURCE = "retrieval"
 RERANK_RESOURCE = "reranker"
+CACHE_RESOURCE = "cache"
 
 
 def shard_resource_name(sid: int, n_shards: int) -> str:
@@ -176,6 +188,19 @@ class QueryRecord:
     wasted_decode_tokens: int = 0
     #: GPU-time attribution of that wasted work (roofline-priced).
     speculation_seconds: float = 0.0
+    #: Whether any cache tier served this query (``docs/CACHING.md``).
+    cache_hit: bool = False
+    #: Which tier: ``result-exact`` / ``result-semantic`` /
+    #: ``retrieval`` (``None`` on a miss or with caching off).
+    cache_tier: str | None = None
+    #: Hit entry was tagged with an older corpus version than the
+    #: store's current one (served anyway; staleness is measured).
+    cache_stale: bool = False
+    #: Seconds the serving entry had been resident at hit time.
+    cache_age_s: float = 0.0
+    #: Cache-resource lookup hold (+ queueing) this query paid; >0 for
+    #: every query — hits *and* misses — when a cache is enabled.
+    cache_lookup_seconds: float = 0.0
 
     @property
     def e2e_delay(self) -> float:
@@ -265,6 +290,12 @@ class QueryExecution:
     wasted_prefill_tokens: int = 0
     wasted_decode_tokens: int = 0
     speculation_seconds: float = 0.0
+    #: Cache observables surfaced on the record (set by CacheStage).
+    cache_hit: bool = False
+    cache_tier: str | None = None
+    cache_stale: bool = False
+    cache_age_s: float = 0.0
+    cache_lookup_seconds: float = 0.0
 
 
 def validate_arrivals(arrivals: list[Arrival]) -> bool:
@@ -370,6 +401,12 @@ class DecideStage(_Stage):
                 p.engine.pin_app(ex.query.query_id, preferred)
             pinned = p.engine.replica_of_app(ex.query.query_id)
             ex.replica = 0 if pinned is None else pinned
+        if p.cache_resource is not None:
+            # Probe the cache tiers first; only a full miss opens the
+            # primary lane and proceeds to retrieval. Caching off
+            # (cache_resource None) keeps this path byte-identical.
+            p.cache_stage.enter(t, ex, view)
+            return
         primary = Lane(ex=ex, lane_id=0, app_id=ex.query.query_id,
                        replica=ex.replica, start_time=t)
         ex.lanes.append(primary)
@@ -408,6 +445,86 @@ class DecideStage(_Stage):
             max(t, arm_at), "hedge:arm",
             lambda tt, _: p.arm_hedge(tt, ex),
         )
+
+
+class CacheStage(_Stage):
+    """Probe the cache tiers between Decide and Retrieve.
+
+    One lookup hold on the shared ``cache`` resource covers both
+    probes (exact/semantic result key, then the retrieval key): a
+    **result** hit finalizes the query right here — no lane, no
+    retrieval, no LLM calls; a **retrieval** hit opens the primary
+    lane with the memoized chunk ids and enters synthesis directly;
+    a full miss pays the lookup as added latency (the honest cost of
+    consulting a cache) and proceeds down the normal path. Hedges are
+    planned only for queries that will actually occupy the engine.
+    """
+
+    def enter(self, t: float, ex: QueryExecution, view) -> None:
+        p = self.p
+        hold = p.cache_lookup_hold()
+        p.cache_resource.request(
+            t, hold,
+            lambda now, waited:
+                self._looked_up(now, hold + waited, ex, view))
+
+    def _looked_up(self, now: float, lookup_s: float,
+                   ex: QueryExecution, view) -> None:
+        p = self.p
+        ex.cache_lookup_seconds = lookup_s
+        query = ex.query
+        config = ex.decision.config
+        if p.result_cache is not None:
+            key = ResultCache.key_for(query.text, config.label())
+            qvec = None
+            if p.result_cache.semantic and len(p.store):
+                qvec = p.store.embed_query(query.text)
+            entry, tier = p.result_cache.lookup(
+                key, qvec, now, corpus_version=p.store.corpus_version)
+            if entry is not None:
+                p.finalize_cache_hit(ex, entry, tier, now)
+                if tier == "result-semantic":
+                    # Promote the near-duplicate under its own exact
+                    # key: future identical repeats hit exactly, and
+                    # the resident set no longer depends on where the
+                    # threshold fell (hit-rate monotone in threshold).
+                    p.result_cache.insert(
+                        key, entry.value, now,
+                        saved_seconds=entry.saved_seconds,
+                        saved_dollars=entry.saved_dollars,
+                        corpus_version=entry.corpus_version,
+                        embedding=qvec,
+                        config_label=config.label(),
+                    )
+                    p.charge_cache_insert(now)
+                return
+        lane = Lane(ex=ex, lane_id=0, app_id=query.query_id,
+                    replica=ex.replica, start_time=now)
+        ex.lanes.append(lane)
+        if p.retrieval_cache is not None:
+            k = config.num_chunks
+            fetch_k = p.reranker.fetch_k(k) if p.reranker else k
+            key = RetrievalCache.key_for(
+                canonical_query_id(query.query_id), p.store.n_shards,
+                p.store.index_label, fetch_k)
+            entry = p.retrieval_cache.lookup(
+                key, now, corpus_version=p.store.corpus_version)
+            if entry is not None:
+                ex.cache_hit = True
+                ex.cache_tier = "retrieval"
+                ex.cache_stale = (entry.corpus_version
+                                  < p.store.corpus_version)
+                ex.cache_age_s = now - entry.insert_time
+                # Cached context, fresh answer: skip scatter-gather
+                # and rerank, synthesize from the memoized top-k.
+                lane.chunk_ids = list(entry.value)
+                if p.speculation is not None:
+                    p.decide._plan_hedge(now, ex, view)
+                p.synthesize.enter(now, lane)
+                return
+        if p.speculation is not None:
+            p.decide._plan_hedge(now, ex, view)
+        p.retrieve.enter(now, lane)
 
 
 @dataclass
@@ -485,6 +602,7 @@ class RetrieveStage(_Stage):
             p.rerank.enter(now, lane, merged, state.qvec)
             return
         lane.chunk_ids = [h.chunk.chunk_id for h in merged]
+        p.maybe_cache_retrieval(lane, now)
         p.synthesize.enter(now, lane)
 
 
@@ -511,6 +629,7 @@ class RerankStage(_Stage):
         top = (p.reranker.rerank(p.store, qvec, candidates, k)
                if candidates else [])
         lane.chunk_ids = [h.chunk.chunk_id for h in top]
+        p.maybe_cache_retrieval(lane, now)
         p.synthesize.enter(now, lane)
 
 
@@ -635,6 +754,7 @@ class QueryPipeline:
         speculation: SpeculationPolicy | None = None,
         slo_seconds: float | None = None,
         autoscaler=None,
+        cache_config: CacheConfig | None = None,
     ) -> None:
         self.bundle = bundle
         self.policy = policy
@@ -685,6 +805,30 @@ class QueryPipeline:
             Resource(RERANK_RESOURCE, self.loop, None)
             if reranker is not None else None
         )
+        # Cache tiers (docs/CACHING.md): fresh per pipeline — caches
+        # are per-run mutable state like the ledger. Disabled (None
+        # config, the default) constructs nothing: no tier objects, no
+        # ``cache`` resource, no extra events — the byte-identity path.
+        self.cache_config = cache_config
+        self.result_cache: ResultCache | None = None
+        self.retrieval_cache: RetrievalCache | None = None
+        self.cache_resource: Resource | None = None
+        if cache_config is not None and cache_config.enabled:
+            if cache_config.result_enabled:
+                self.result_cache = ResultCache(
+                    capacity=cache_config.capacity,
+                    eviction=cache_config.eviction,
+                    ttl_s=cache_config.ttl_s,
+                    semantic=(cache_config.result_mode == "semantic"),
+                    semantic_threshold=cache_config.semantic_threshold,
+                )
+            if cache_config.retrieval:
+                self.retrieval_cache = RetrievalCache(
+                    capacity=cache_config.capacity,
+                    eviction=cache_config.eviction,
+                    ttl_s=cache_config.ttl_s,
+                )
+            self.cache_resource = Resource(CACHE_RESOURCE, self.loop, None)
         self.ledger = CostLedger()
         #: StepDriver wiring the engine onto the loop (set by ``run``).
         self.driver = None
@@ -699,6 +843,7 @@ class QueryPipeline:
         # The stages, wired in traversal order.
         self.profile = ProfileStage(self)
         self.decide = DecideStage(self)
+        self.cache_stage = CacheStage(self)
         self.retrieve = RetrieveStage(self)
         self.rerank = RerankStage(self)
         self.synthesize = SynthesizeStage(self)
@@ -893,8 +1038,46 @@ class QueryPipeline:
             wasted_prefill_tokens=ex.wasted_prefill_tokens,
             wasted_decode_tokens=ex.wasted_decode_tokens,
             speculation_seconds=ex.speculation_seconds,
+            cache_hit=ex.cache_hit,
+            cache_tier=ex.cache_tier,
+            cache_stale=ex.cache_stale,
+            cache_age_s=ex.cache_age_s,
+            cache_lookup_seconds=ex.cache_lookup_seconds,
         )
         self.records.append(record)
+        if self.result_cache is not None and not ex.cache_hit:
+            # Miss path: memoize the full answer so an exact (or
+            # near-duplicate, in semantic mode) repeat can skip
+            # Retrieve/Rerank/Synthesize. Benefit is the *measured*
+            # post-decide latency and the priced GPU time of this
+            # query's LLM calls — what a future hit actually saves.
+            saved_seconds = now - lane.start_time
+            saved_dollars = self.ledger.model.gpu_time(
+                self.engine.cluster,
+                self.engine.cost.request_seconds(lane.prefill_tokens,
+                                                 lane.output_tokens))
+            value = CachedAnswer(
+                tokens=tuple(answer.tokens),
+                f1=answer.f1,
+                expected_f1=answer.expected_f1,
+                coverage=answer.coverage,
+                chunk_ids=tuple(lane.chunk_ids),
+                chunks_clipped=lane.chunks_clipped,
+            )
+            key = ResultCache.key_for(ex.query.text,
+                                      ex.decision.config.label())
+            qvec = (self.store.embed_query(ex.query.text)
+                    if self.result_cache.semantic and len(self.store)
+                    else None)
+            self.result_cache.insert(
+                key, value, now,
+                saved_seconds=saved_seconds,
+                saved_dollars=saved_dollars,
+                corpus_version=self.store.corpus_version,
+                embedding=qvec,
+                config_label=ex.decision.config.label(),
+            )
+            self.charge_cache_insert(now)
         if isinstance(self.engine, ClusterEngine):
             self.engine.release_app(ex.query.query_id)
             # A winning hedge lane's pin must not outlive the query.
@@ -905,6 +1088,125 @@ class QueryPipeline:
             self._schedule_arrival(now, nxt.query)
 
     # ------------------------------------------------------------------
+    # Caching (docs/CACHING.md)
+    # ------------------------------------------------------------------
+    def cache_lookup_hold(self) -> float:
+        """Deterministic hold for one combined probe of the enabled
+        tiers on the ``cache`` resource. Semantic mode pays a linear
+        scan over resident entries, so a fuller cache probes slower."""
+        hold = 0.0
+        if self.result_cache is not None:
+            hold += self.result_cache.lookup_seconds()
+        if self.retrieval_cache is not None:
+            hold += self.retrieval_cache.lookup_seconds()
+        return hold
+
+    def charge_cache_insert(self, now: float) -> None:
+        """Inserts contend on the same ``cache`` resource as lookups —
+        a write burst delays concurrent probes, which is the honest
+        cost of a shared cache."""
+        self.cache_resource.request(
+            now, CACHE_INSERT_SECONDS, lambda t, waited: None)
+
+    def maybe_cache_retrieval(self, lane: Lane, now: float) -> None:
+        """Memoize a freshly retrieved top-k chunk-id list.
+
+        Only primary lanes insert (a hedge duplicate retrieves the same
+        ids — inserting twice would just burn insert events), and a
+        lane that was itself served from the retrieval cache never
+        re-inserts its own payload.
+        """
+        if (self.retrieval_cache is None or lane.lane_id != 0
+                or lane.ex.cache_tier == "retrieval"):
+            return
+        ex = lane.ex
+        k = ex.decision.config.num_chunks
+        fetch_k = self.reranker.fetch_k(k) if self.reranker else k
+        key = RetrievalCache.key_for(
+            canonical_query_id(ex.query.query_id), self.store.n_shards,
+            self.store.index_label, fetch_k)
+        # The payload is copied: SynthesizeStage clips lane.chunk_ids
+        # in place and must not mutate the cached value.
+        self.retrieval_cache.insert(
+            key, tuple(lane.chunk_ids), now,
+            saved_seconds=(lane.retrieval_seconds + lane.gather_seconds
+                           + lane.rerank_seconds),
+            corpus_version=self.store.corpus_version,
+        )
+        self.charge_cache_insert(now)
+
+    def finalize_cache_hit(self, ex: QueryExecution, entry, tier: str,
+                           now: float) -> None:
+        """A result-cache hit: serve the memoized answer immediately.
+
+        The cached token sequence is re-scored against *this* query's
+        ground truth — free for exact repeats (identical truth), and
+        the honest quality delta for semantic near-matches and stale
+        entries, which is how cache staleness becomes a measurable
+        quality effect rather than an invisible one.
+        """
+        ex.done = True
+        value = entry.value
+        ex.cache_hit = True
+        ex.cache_tier = tier
+        ex.cache_stale = entry.corpus_version < self.store.corpus_version
+        ex.cache_age_s = now - entry.insert_time
+        ctx = self.bundle.synthesis_context(ex.query, list(value.chunk_ids))
+        f1 = token_f1(list(value.tokens), list(ctx.ground_truth_tokens()))
+        record = QueryRecord(
+            query_id=ex.query.query_id,
+            policy=self.policy.name,
+            dataset=self.bundle.name,
+            arrival_time=ex.arrival_time,
+            decision_time=ex.decision_time,
+            finish_time=now,
+            config=ex.decision.config,
+            f1=f1,
+            expected_f1=value.expected_f1,
+            coverage=value.coverage,
+            profiler_seconds=ex.prep.api_seconds,
+            profiler_dollars=ex.prep.dollars,
+            n_chunks_retrieved=len(value.chunk_ids),
+            chunks_clipped=value.chunks_clipped,
+            fell_back=ex.decision.fell_back,
+            used_recent_spaces=ex.decision.used_recent_spaces,
+            confidence=(
+                ex.prep.profile.confidence if ex.prep.profile else None
+            ),
+            queueing_delay=0.0,
+            prefill_tokens=0,
+            output_tokens=0,
+            replica=ex.replica,
+            profiler_queue_delay=ex.profiler_queue_delay,
+            deadline=ex.deadline,
+            cache_hit=True,
+            cache_tier=tier,
+            cache_stale=ex.cache_stale,
+            cache_age_s=ex.cache_age_s,
+            cache_lookup_seconds=ex.cache_lookup_seconds,
+        )
+        self.records.append(record)
+        if isinstance(self.engine, ClusterEngine):
+            # make_view pinned the query's app id at decide time; a hit
+            # never admits engine requests, so release the pin here or
+            # it leaks for the rest of the run.
+            self.engine.release_app(ex.query.query_id)
+        self.policy.on_complete(ex.query, f1, record.e2e_delay)
+        if self._pending_closed:
+            nxt = self._pending_closed.popleft()
+            self._schedule_arrival(now, nxt.query)
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Per-tier counters for enabled tiers (empty when caching is
+        off)."""
+        stats: dict[str, CacheStats] = {}
+        if self.result_cache is not None:
+            stats["result"] = self.result_cache.stats
+        if self.retrieval_cache is not None:
+            stats["retrieval"] = self.retrieval_cache.stats
+        return stats
+
+    # ------------------------------------------------------------------
     # Helpers shared by stages
     # ------------------------------------------------------------------
     def resource_stats(self) -> dict[str, ResourceStats]:
@@ -913,6 +1215,8 @@ class QueryPipeline:
             stats[resource.name] = resource.stats
         if self.rerank_resource is not None:
             stats[RERANK_RESOURCE] = self.rerank_resource.stats
+        if self.cache_resource is not None:
+            stats[CACHE_RESOURCE] = self.cache_resource.stats
         return stats
 
     def synthesizer(self, config: RAGConfig):

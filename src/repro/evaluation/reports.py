@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.util.ids import canonical_query_id
+
 __all__ = ["format_table", "format_ratio", "Reporter",
            "per_replica_rows", "cluster_summary", "resource_rows",
            "retrieval_shard_rows", "speculation_rows",
-           "autoscale_rows", "autoscale_summary"]
+           "autoscale_rows", "autoscale_summary",
+           "cache_rows", "query_group_rows"]
 
 
 def _fmt(value) -> str:
@@ -262,6 +265,68 @@ def autoscale_summary(result) -> dict:
         idle_fraction=(idle / provisioned) if provisioned > 0 else 0.0,
         idle_dollars=result.ledger.idle_dollars,
     )
+
+
+def cache_rows(result) -> list[dict]:
+    """One row of counters per enabled cache tier.
+
+    ``result`` is a :class:`~repro.evaluation.runner.RunResult`
+    (duck-typed: needs ``cache_stats`` — a mapping of tier name to
+    :class:`~repro.caching.CacheStats`). Empty when caching is off.
+    ``saved_seconds`` / ``saved_dollars`` are the summed *measured*
+    benefit of the hits (what each memoized answer actually cost to
+    produce), the same quantities GDSF eviction ranks entries by —
+    see ``docs/CACHING.md``.
+    """
+    return [dict(
+        tier=tier,
+        lookups=stats.lookups,
+        hits=stats.hits,
+        hit_rate=stats.hit_rate,
+        inserts=stats.inserts,
+        evictions=stats.evictions,
+        expirations=stats.expirations,
+        stale_hits=stats.stale_hits,
+        semantic_hits=stats.semantic_hits,
+        saved_seconds=stats.saved_seconds,
+        saved_dollars=stats.saved_dollars,
+    ) for tier, stats in result.cache_stats.items()]
+
+
+def query_group_rows(result) -> list[dict]:
+    """One row per *canonical* query, folding ``#rN`` replay repeats.
+
+    Replayed traces (:func:`repro.workload.zipfian_workload` and
+    ``materialize`` generally) reuse the query pool with ``#rN``
+    suffixes on the ids; grouping by
+    :func:`~repro.util.ids.canonical_query_id` shows how repetition
+    was served — for a cached run, ``hits``/``repeats`` is the
+    per-query hit yield, and ``first_delay_s`` vs ``mean_delay_s``
+    quantifies what the repeats gained. Rows are ordered by first
+    arrival.
+    """
+    groups: dict[str, list] = {}
+    order: list[str] = []
+    for r in result.records:
+        cid = canonical_query_id(r.query_id)
+        if cid not in groups:
+            groups[cid] = []
+            order.append(cid)
+        groups[cid].append(r)
+    rows: list[dict] = []
+    for cid in order:
+        records = sorted(groups[cid], key=lambda r: r.arrival_time)
+        delays = [r.e2e_delay for r in records]
+        rows.append(dict(
+            query=cid,
+            repeats=len(records),
+            hits=sum(1 for r in records if r.cache_hit),
+            stale_hits=sum(1 for r in records if r.cache_stale),
+            first_delay_s=delays[0],
+            mean_delay_s=sum(delays) / len(delays),
+            mean_f1=sum(r.f1 for r in records) / len(records),
+        ))
+    return rows
 
 
 class Reporter:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.caching import CacheStats, make_cache_config
 from repro.core.policy import RAGPolicy
 from repro.data.types import DatasetBundle
 from repro.data.workload import Arrival
@@ -91,6 +92,13 @@ class RunResult:
     #: Provisioned-but-idle GPU-seconds (the gap idle-capacity pricing
     #: bills; 0.0 when idle pricing is off).
     idle_gpu_seconds: float = 0.0
+    #: Result-cache mode (``None`` when caching is off entirely).
+    result_cache: str | None = None
+    #: Whether the retrieval (top-k memo) tier was enabled.
+    retrieval_cache: bool = False
+    #: Per-tier cache counters keyed ``"result"`` / ``"retrieval"``
+    #: (empty when caching is off); see ``docs/CACHING.md``.
+    cache_stats: dict[str, CacheStats] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Latency / quality observables. A run can legitimately complete
@@ -206,6 +214,42 @@ class RunResult:
             return 0.0
         return sum(met) / len(met)
 
+    # ------------------------------------------------------------------
+    # Cache observables (fig_cache); see docs/CACHING.md
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed queries served from any cache tier.
+
+        0.0 when caching is off (every record is a miss by
+        construction); NaN when the run completed no queries.
+        """
+        if not self.records:
+            return float("nan")
+        return sum(1 for r in self.records if r.cache_hit) \
+            / len(self.records)
+
+    @property
+    def cache_stale_hit_rate(self) -> float:
+        """Fraction of completed queries served a stale cache entry
+        (inserted under an older corpus version)."""
+        if not self.records:
+            return float("nan")
+        return sum(1 for r in self.records if r.cache_stale) \
+            / len(self.records)
+
+    @property
+    def cache_saved_seconds(self) -> float:
+        """Pipeline seconds the cache tiers short-circuited (summed
+        measured benefit of every hit; 0.0 when caching is off)."""
+        return sum(s.saved_seconds for s in self.cache_stats.values())
+
+    @property
+    def cache_saved_dollars(self) -> float:
+        """Priced GPU dollars the cache hits avoided spending (0.0
+        when caching is off)."""
+        return sum(s.saved_dollars for s in self.cache_stats.values())
+
     @property
     def total_dollars(self) -> float:
         return self.ledger.total_dollars
@@ -294,8 +338,24 @@ class ExperimentRunner:
         autoscale_interval: float | None = None,
         provision_delay: float | None = None,
         price_idle_capacity: bool | None = None,
+        result_cache: str | None = None,
+        retrieval_cache: bool = False,
+        cache_capacity: int | None = None,
+        cache_eviction: str | None = None,
+        semantic_threshold: float | None = None,
+        cache_ttl: float | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
+        # Fail fast on misused cache knobs before any engine state is
+        # built; None means every tier is off — the byte-identity path.
+        self.cache_config = make_cache_config(
+            result_cache=result_cache,
+            retrieval_cache=retrieval_cache,
+            cache_capacity=cache_capacity,
+            cache_eviction=cache_eviction,
+            semantic_threshold=semantic_threshold,
+            cache_ttl=cache_ttl,
+        )
         self.scaling_policy = make_scaling_policy(autoscaler)
         if self.scaling_policy is None:
             misused = {
@@ -470,6 +530,7 @@ class ExperimentRunner:
             speculation=self.speculation,
             slo_seconds=self.slo_seconds,
             autoscaler=autoscaler,
+            cache_config=self.cache_config,
         )
         pipeline.run(arrivals, closed_loop_clients=closed_loop_clients)
 
@@ -516,6 +577,12 @@ class ExperimentRunner:
             provisioned_gpu_seconds=sum(provisioned),
             idle_gpu_seconds=(idle_seconds
                               if self.price_idle_capacity else 0.0),
+            result_cache=(self.cache_config.result_mode
+                          if self.cache_config is not None
+                          and self.cache_config.result_enabled else None),
+            retrieval_cache=(self.cache_config.retrieval
+                             if self.cache_config is not None else False),
+            cache_stats=pipeline.cache_stats(),
         )
 
     # ------------------------------------------------------------------

@@ -203,6 +203,12 @@ def run_policy(
     autoscale_interval: float | None = None,
     provision_delay: float | None = None,
     price_idle_capacity: bool | None = None,
+    result_cache: str | None = None,
+    retrieval_cache: bool = False,
+    cache_capacity: int | None = None,
+    cache_eviction: str | None = None,
+    semantic_threshold: float | None = None,
+    cache_ttl: float | None = None,
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
@@ -232,6 +238,13 @@ def run_policy(
     capacity on top (see :mod:`repro.workload.autoscaler`); the
     default (``None`` / ``"none"``) keeps the fleet static and the
     schedule byte-identical.
+
+    ``result_cache`` / ``retrieval_cache`` / ``cache_capacity`` /
+    ``cache_eviction`` / ``semantic_threshold`` / ``cache_ttl``
+    configure the multi-tier caching subsystem (see
+    :mod:`repro.caching` and ``docs/CACHING.md``); the default
+    (``None`` / off) constructs no caches and keeps the schedule
+    byte-identical.
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     wl = None
@@ -280,6 +293,12 @@ def run_policy(
         autoscale_interval=autoscale_interval,
         provision_delay=provision_delay,
         price_idle_capacity=price_idle_capacity,
+        result_cache=result_cache,
+        retrieval_cache=retrieval_cache,
+        cache_capacity=cache_capacity,
+        cache_eviction=cache_eviction,
+        semantic_threshold=semantic_threshold,
+        cache_ttl=cache_ttl,
     )
     return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 

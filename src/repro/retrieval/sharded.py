@@ -127,6 +127,15 @@ class ShardedVectorStore:
         self._pos: dict[str, int] = {}
         self._shard_of: dict[str, int] = {}
         self._vectors = np.zeros((0, self.embedding.dim), dtype=np.float32)
+        #: Monotonic corpus generation: cache entries are tagged with
+        #: the version current at insert, so a later re-ingest makes
+        #: hits on older entries *stale* (see ``repro.caching``).
+        self.corpus_version = 0
+
+    def bump_corpus_version(self) -> int:
+        """Mark a corpus re-ingest; returns the new version."""
+        self.corpus_version += 1
+        return self.corpus_version
 
     @staticmethod
     def _resolve_factory(
@@ -255,6 +264,7 @@ class ShardedVectorStore:
         )
         if index_factory is None:
             clone.index_label = self.index_label
+        clone.corpus_version = self.corpus_version
         if self._chunks:
             clone._add_embedded(list(self._chunks), self._vectors.copy())
         return clone

@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG streams, unit helpers, validation."""
 
+from repro.util.ids import canonical_query_id
 from repro.util.rng import RngStreams, derive_seed, stream
 from repro.util.units import (
     GB,
@@ -21,6 +22,7 @@ __all__ = [
     "KB",
     "MB",
     "RngStreams",
+    "canonical_query_id",
     "check_in_range",
     "check_non_negative",
     "check_positive",

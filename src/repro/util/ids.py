@@ -1,0 +1,35 @@
+"""Query-identity helpers shared by caching and reporting.
+
+Workload replays clone pool queries under fresh ids
+(``<id>#r<cycle>``, see :meth:`repro.workload.trace.Workload.
+materialize`) because app pins and record identity key on query-id
+uniqueness. Anything that should treat repeats of one logical query
+as the *same* query — cache keys, per-query report aggregation —
+strips that suffix first with :func:`canonical_query_id`.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["canonical_query_id"]
+
+#: The workload-replay suffix: ``#r`` + the cycle number, at the end.
+_REPLAY_SUFFIX = re.compile(r"#r\d+$")
+
+
+def canonical_query_id(query_id: str) -> str:
+    """Strip the workload-replay ``#rN`` suffix from a query id.
+
+    Only the trailing replay marker is removed; any other ``#``
+    decoration (e.g. the ``#hedge`` app-id suffix, which never appears
+    on records) is left alone, as is an id with no suffix at all.
+
+    >>> canonical_query_id("finsec-q12#r3")
+    'finsec-q12'
+    >>> canonical_query_id("finsec-q12")
+    'finsec-q12'
+    >>> canonical_query_id("q1#r2#r10")
+    'q1#r2'
+    """
+    return _REPLAY_SUFFIX.sub("", query_id)

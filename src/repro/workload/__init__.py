@@ -11,6 +11,7 @@ See ``docs/WORKLOADS.md``.
 from repro.workload.autoscaler import (
     AUTOSCALER_NAMES,
     Autoscaler,
+    EwmaForecastPolicy,
     ForecastPolicy,
     ReactivePolicy,
     ScalingEvent,
@@ -27,11 +28,13 @@ from repro.workload.trace import (
     diurnal_workload,
     make_workload,
     multi_tenant_workload,
+    zipfian_workload,
 )
 
 __all__ = [
     "AUTOSCALER_NAMES",
     "Autoscaler",
+    "EwmaForecastPolicy",
     "ForecastPolicy",
     "ReactivePolicy",
     "ScalingEvent",
@@ -46,4 +49,5 @@ __all__ = [
     "make_workload",
     "multi_tenant_workload",
     "sustained_rate",
+    "zipfian_workload",
 ]

@@ -60,6 +60,7 @@ __all__ = [
     "ScalingPolicy",
     "ReactivePolicy",
     "ForecastPolicy",
+    "EwmaForecastPolicy",
     "Autoscaler",
     "AUTOSCALER_NAMES",
     "make_scaling_policy",
@@ -212,9 +213,39 @@ class ForecastPolicy(ScalingPolicy):
         return best_n
 
 
+class EwmaForecastPolicy(ForecastPolicy):
+    """The forecast planner fed an EWMA-smoothed rate signal.
+
+    Identical fleet-scoring to :class:`ForecastPolicy`; the difference
+    is upstream — the autoscaler recognises ``smoothing_alpha`` and
+    fills :attr:`ScalingSignals.forecast_rate_qps` with
+    :meth:`Workload.ewma_rate` at the lookahead time instead of the raw
+    period rate. On an MMPP-bursty trace the raw next-period rate
+    whipsaws between the calm and burst levels, and the planner with it
+    (provision, cancel, provision ...); the EWMA remembers recent
+    history, so single-period spikes are damped and the fleet makes
+    strictly fewer moves (pinned by ``tests/test_autoscaler.py``).
+    ``smoothing_alpha=1.0`` degrades to the raw forecast.
+    """
+
+    name = "forecast-ewma"
+
+    def __init__(self, smoothing_alpha: float = 0.3,
+                 latency_weight: float = 2.0,
+                 default_service_s: float = 0.6) -> None:
+        super().__init__(latency_weight=latency_weight,
+                         default_service_s=default_service_s)
+        if not 0.0 < smoothing_alpha <= 1.0:
+            raise ValueError(
+                f"smoothing_alpha must be in (0, 1], got {smoothing_alpha}"
+            )
+        self.smoothing_alpha = float(smoothing_alpha)
+
+
 #: Autoscaler names accepted by :func:`make_scaling_policy` (and
 #: ``--autoscaler``).
-AUTOSCALER_NAMES: tuple[str, ...] = ("none", "reactive", "forecast")
+AUTOSCALER_NAMES: tuple[str, ...] = ("none", "reactive", "forecast",
+                                     "forecast-ewma")
 
 
 def make_scaling_policy(
@@ -229,6 +260,8 @@ def make_scaling_policy(
         return ReactivePolicy()
     if name == "forecast":
         return ForecastPolicy()
+    if name == "forecast-ewma":
+        return EwmaForecastPolicy()
     known = ", ".join(AUTOSCALER_NAMES)
     raise ValueError(f"unknown autoscaler {name!r}; known: {known}")
 
@@ -362,8 +395,12 @@ class Autoscaler:
                    if completed else None)
         forecast = None
         if self.workload is not None:
-            forecast = self.workload.forecast_rate(
-                t, self.interval_s + self.provision_delay_s)
+            lookahead = self.interval_s + self.provision_delay_s
+            alpha = getattr(self.policy, "smoothing_alpha", None)
+            if alpha is not None:
+                forecast = self.workload.ewma_rate(t + lookahead, alpha)
+            else:
+                forecast = self.workload.forecast_rate(t, lookahead)
         return ScalingSignals(
             time=t,
             n_active=len(active),

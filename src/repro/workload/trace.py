@@ -51,6 +51,7 @@ __all__ = [
     "diurnal_workload",
     "bursty_workload",
     "multi_tenant_workload",
+    "zipfian_workload",
     "make_workload",
 ]
 
@@ -87,10 +88,21 @@ class Workload:
 
     periods: tuple[WorkloadPeriod, ...]
     name: str = "trace"
+    #: Optional per-arrival indices into the query pool (see
+    #: :meth:`materialize`). Empty — the default, and the only shape
+    #: older trace files can carry — cycles the pool in order.
+    query_mix: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         check_non_empty("workload.periods", self.periods)
         object.__setattr__(self, "periods", tuple(self.periods))
+        mix = tuple(int(i) for i in self.query_mix)
+        for i in mix:
+            if i < 0:
+                raise ValueError(
+                    f"workload.query_mix indices must be >= 0, got {i}"
+                )
+        object.__setattr__(self, "query_mix", mix)
 
     # ------------------------------------------------------------------
     # Forecastable properties
@@ -149,16 +161,36 @@ class Workload:
         """
         return self.rate_at(t + lookahead_s)
 
+    def ewma_rate(self, t: float, alpha: float) -> float:
+        """Exponentially smoothed offered rate over the periods up to
+        ``t`` (inclusive).
+
+        ``alpha`` in (0, 1] weights the newest period: 1.0 degrades to
+        :meth:`rate_at`, small values remember the trace's history and
+        damp single-period spikes — the smoothing the ``forecast-ewma``
+        autoscaler plans against so MMPP noise doesn't whipsaw the
+        fleet (see :class:`repro.workload.EwmaForecastPolicy`).
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        idx = self.period_index_at(t)
+        ewma = self.periods[0].rate_qps
+        for period in self.periods[1:idx + 1]:
+            ewma = alpha * period.rate_qps + (1.0 - alpha) * ewma
+        return ewma
+
     def scaled(self, factor: float) -> "Workload":
         """A copy with every period's arrival count scaled by ``factor``
-        (rounded; fast-mode shrinking keeps the trace's shape)."""
+        (rounded; fast-mode shrinking keeps the trace's shape, and any
+        ``query_mix`` rides along — materialize indexes it modulo its
+        length, so a shrunk trace keeps the same popularity skew)."""
         check_positive("factor", factor)
-        return Workload(
+        return replace(
+            self,
             periods=tuple(
                 replace(p, n_arrivals=int(round(p.n_arrivals * factor)))
                 for p in self.periods
             ),
-            name=self.name,
         )
 
     # ------------------------------------------------------------------
@@ -174,10 +206,16 @@ class Workload:
         ``(seed, "workload", name, period_index)`` — so period ``i``'s
         times never depend on how many arrivals earlier periods had.
 
-        ``queries`` is the pool: arrivals cycle through it in order,
-        and repeat visits clone the query under a fresh ``query_id``
-        (``<id>#r<cycle>``) because app pins and record identity key on
-        query-id uniqueness.
+        ``queries`` is the pool. With the default empty ``query_mix``
+        arrivals cycle through it in order; a non-empty mix maps
+        arrival ``i`` to ``queries[query_mix[i % len(mix)] % len(pool)]``
+        (the modulo keeps shrunk/scaled traces and small pools valid),
+        which is how :func:`zipfian_workload` skews popularity. Either
+        way, repeat visits clone the query under a fresh ``query_id``
+        (``<id>#r<n>`` for its *n*-th reuse) because app pins and
+        record identity key on query-id uniqueness; cache keys fold the
+        suffix back off via
+        :func:`repro.util.ids.canonical_query_id`.
         """
         check_non_empty("queries", queries)
         times: list[float] = []
@@ -192,12 +230,18 @@ class Workload:
                 times.extend(start + u for u in offsets)
             start += period.duration_s
         arrivals: list[Arrival] = []
+        seen: dict[str, int] = {}
+        mix = self.query_mix
         for i, t in enumerate(times):
-            query = queries[i % len(queries)]
-            cycle = i // len(queries)
-            if cycle:
+            if mix:
+                query = queries[mix[i % len(mix)] % len(queries)]
+            else:
+                query = queries[i % len(queries)]
+            visit = seen.get(query.query_id, 0)
+            seen[query.query_id] = visit + 1
+            if visit:
                 query = replace(query,
-                                query_id=f"{query.query_id}#r{cycle}")
+                                query_id=f"{query.query_id}#r{visit}")
             arrivals.append(Arrival(query=query, time=t))
         return arrivals
 
@@ -206,22 +250,23 @@ class Workload:
     # ------------------------------------------------------------------
     def to_json(self) -> str:
         """Canonical serialization (sorted keys, fixed layout): the
-        same workload always renders to the same bytes."""
-        return json.dumps(
-            {
-                "name": self.name,
-                "periods": [
-                    {
-                        "duration_s": p.duration_s,
-                        "n_arrivals": p.n_arrivals,
-                        "label": p.label,
-                    }
-                    for p in self.periods
-                ],
-            },
-            indent=2,
-            sort_keys=True,
-        ) + "\n"
+        same workload always renders to the same bytes. ``query_mix``
+        is emitted only when non-empty, so traces that never used it
+        serialize byte-identically to before the field existed."""
+        payload: dict = {
+            "name": self.name,
+            "periods": [
+                {
+                    "duration_s": p.duration_s,
+                    "n_arrivals": p.n_arrivals,
+                    "label": p.label,
+                }
+                for p in self.periods
+            ],
+        }
+        if self.query_mix:
+            payload["query_mix"] = list(self.query_mix)
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
     @classmethod
     def from_json(cls, text: str) -> "Workload":
@@ -234,7 +279,11 @@ class Workload:
             )
             for p in payload.get("periods", ())
         )
-        return cls(periods=periods, name=str(payload.get("name", "trace")))
+        return cls(
+            periods=periods,
+            name=str(payload.get("name", "trace")),
+            query_mix=tuple(int(i) for i in payload.get("query_mix", ())),
+        )
 
     def save(self, path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -365,13 +414,60 @@ def multi_tenant_workload(
     return Workload(periods=tuple(periods), name=name)
 
 
+def zipfian_workload(
+    n_periods: int = 20,
+    period_s: float = 30.0,
+    rate_qps: float = 1.5,
+    pool_size: int = 30,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+    name: str = "zipf",
+) -> Workload:
+    """Steady offered load with a Zipf-skewed repeating query mix.
+
+    The cache-friendly trace: period counts are Poisson at a flat
+    ``rate_qps``, and every arrival's query is drawn over pool indices
+    ``0..pool_size-1`` with weight ``1 / (rank+1)**zipf_s`` — index 0
+    is the head of the popularity curve, so a handful of hot queries
+    dominate while the tail stays cold, the textbook regime where a
+    small result cache earns a large hit rate (``fig_cache``). The
+    draw comes from the stream ``(seed, "workload", name, "mix")`` and
+    lands in :attr:`Workload.query_mix`, so the skew replays
+    byte-identically from a saved trace file.
+    """
+    check_count("n_periods", n_periods, minimum=1)
+    check_positive("period_s", period_s)
+    check_positive("rate_qps", rate_qps)
+    check_count("pool_size", pool_size, minimum=1)
+    check_positive("zipf_s", zipf_s)
+    periods = []
+    for i in range(n_periods):
+        rng = stream(seed, "workload", name, "count", i)
+        periods.append(WorkloadPeriod(
+            duration_s=float(period_s),
+            n_arrivals=_poisson_count(rate_qps, period_s, rng),
+            label=f"p{i}",
+        ))
+    total = sum(p.n_arrivals for p in periods)
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(pool_size)]
+    norm = sum(weights)
+    probs = [w / norm for w in weights]
+    mix_rng = stream(seed, "workload", name, "mix")
+    mix = tuple(
+        int(j) for j in mix_rng.choice(pool_size, size=total, p=probs)
+    ) if total else ()
+    return Workload(periods=tuple(periods), name=name, query_mix=mix)
+
+
 #: Generator names accepted by :func:`make_workload` (and ``--workload``).
-WORKLOAD_NAMES: tuple[str, ...] = ("diurnal", "bursty", "multi-tenant")
+WORKLOAD_NAMES: tuple[str, ...] = ("diurnal", "bursty", "multi-tenant",
+                                   "zipf")
 
 _GENERATORS = {
     "diurnal": diurnal_workload,
     "bursty": bursty_workload,
     "multi-tenant": multi_tenant_workload,
+    "zipf": zipfian_workload,
 }
 
 

@@ -15,10 +15,12 @@ from repro.util.units import GB
 from repro.workload import (
     AUTOSCALER_NAMES,
     Autoscaler,
+    EwmaForecastPolicy,
     ForecastPolicy,
     ReactivePolicy,
     ScalingPolicy,
     ScalingSignals,
+    bursty_workload,
     diurnal_workload,
     make_scaling_policy,
 )
@@ -197,7 +199,83 @@ class TestPolicies:
         assert make_scaling_policy(pol) is pol
         with pytest.raises(ValueError, match="reactive"):
             make_scaling_policy("bogus")
-        assert AUTOSCALER_NAMES == ("none", "reactive", "forecast")
+        assert AUTOSCALER_NAMES == ("none", "reactive", "forecast",
+                                    "forecast-ewma")
+        ewma = make_scaling_policy("forecast-ewma")
+        assert isinstance(ewma, ForecastPolicy)
+        assert 0.0 < ewma.smoothing_alpha <= 1.0
+
+
+# ----------------------------------------------------------------------
+# EWMA forecast smoothing (satellite: fewer moves under noise)
+# ----------------------------------------------------------------------
+class TestEwmaForecast:
+    def test_ewma_rate_math(self):
+        from repro.workload import Workload, WorkloadPeriod
+        wl = Workload(periods=(
+            WorkloadPeriod(duration_s=10.0, n_arrivals=10, label="a"),
+            WorkloadPeriod(duration_s=10.0, n_arrivals=40, label="b"),
+        ), name="t")
+        # alpha=1 degrades to the raw period rate.
+        assert wl.ewma_rate(15.0, alpha=1.0) == wl.rate_at(15.0)
+        # alpha=0.5: 0.5*4.0 + 0.5*1.0
+        assert wl.ewma_rate(15.0, alpha=0.5) == pytest.approx(2.5)
+        # Before the second period, only the first contributes.
+        assert wl.ewma_rate(5.0, alpha=0.5) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            wl.ewma_rate(5.0, alpha=0.0)
+
+    def test_ewma_validates_alpha(self):
+        with pytest.raises(ValueError, match="smoothing_alpha"):
+            EwmaForecastPolicy(smoothing_alpha=1.5)
+
+    def test_ewma_makes_fewer_moves_on_a_noisy_trace(self):
+        """Pinned contract: on an MMPP-bursty trace, the EWMA-fed
+        planner changes its desired fleet strictly fewer times than the
+        raw-forecast planner (the raw next-period rate whipsaws between
+        the calm and burst levels; the EWMA damps single-period
+        spikes). This mirrors exactly how ``Autoscaler.signals`` feeds
+        the two policies: raw ``forecast_rate(t, lookahead)`` vs
+        ``ewma_rate(t + lookahead, alpha)``."""
+        lookahead = 45.0
+
+        def desired_moves(policy, forecast_of) -> int:
+            n, count, t = 1, 0, 0.0
+            while t < wl.duration_s:
+                s = signals(
+                    time=t, n_active=n, outstanding_per_active=0.0,
+                    forecast_rate_qps=forecast_of(t),
+                    est_service_seconds=2.0,
+                    scale_min=1, scale_max=4)
+                d = policy.desired_fleet(s)
+                if d != n:
+                    count += 1
+                    n = d
+                t += 15.0
+            return count
+
+        for seed in (0, 3, 5):
+            wl = bursty_workload(n_periods=40, period_s=30.0, seed=seed)
+            raw = desired_moves(
+                ForecastPolicy(),
+                lambda t: wl.forecast_rate(t, lookahead))
+            ewma_policy = EwmaForecastPolicy(smoothing_alpha=0.3)
+            ewma = desired_moves(
+                ewma_policy,
+                lambda t: wl.ewma_rate(
+                    t + lookahead, ewma_policy.smoothing_alpha))
+            assert ewma < raw, (seed, ewma, raw)
+
+    def test_ewma_run_end_to_end(self, finsec_bundle):
+        wl = bursty_workload(n_periods=8, period_s=12.0, base_qps=0.3,
+                             burst_qps=2.0, seed=0)
+        result = serve(finsec_bundle, workload=wl,
+                       autoscaler="forecast-ewma",
+                       scale_min=1, scale_max=3,
+                       autoscale_interval=4.0, provision_delay=6.0)
+        assert result.autoscaler == "forecast-ewma"
+        assert len(result.records) == wl.total_arrivals
+        assert not math.isnan(result.slo_attainment)
 
 
 # ----------------------------------------------------------------------

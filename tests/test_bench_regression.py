@@ -99,6 +99,18 @@ class TestExtraction:
         assert metrics["fleet=forecast:slo_attainment"][0].higher_better
         assert not metrics["fleet=forecast:p99_delay_s"][0].higher_better
 
+    def test_cache_zipf_gates_hit_rates_and_throughput(self):
+        metrics = extract_metrics("cache_zipf.json", {
+            "hit_rate": 0.93, "result_hit_rate": 0.91,
+            "events_per_sec": 30_000.0})
+        assert len(metrics) == 3
+        # Hit rates are seeded-deterministic; only the throughput is a
+        # wall-clock floor.
+        assert not metrics["hit_rate"][0].wall_clock
+        assert metrics["hit_rate"][0].higher_better
+        assert not metrics["result_hit_rate"][0].wall_clock
+        assert metrics["events_per_sec"][0].wall_clock
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError, match="no metric spec"):
             extract_metrics("bench_unknown.json", {})
@@ -130,6 +142,9 @@ class TestGateEndToEnd:
             {"rows": [{"fleet": "forecast", "slo_attainment": 1.0,
                        "dollars_per_query": 3.3e-4,
                        "p99_delay_s": 2.4}]}))
+        (root / "cache_zipf.json").write_text(json.dumps(
+            {"hit_rate": 0.9, "result_hit_rate": 0.88,
+             "events_per_sec": events}))
 
     def test_matching_numbers_pass(self, dirs, capsys):
         artifacts, baselines = dirs

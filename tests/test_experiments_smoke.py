@@ -167,6 +167,51 @@ def test_fig_speculation_fast():
     assert len(report.notes) == 2
 
 
+def test_fig_cache_fast():
+    """Acceptance bar (ISSUE 7): on the Zipf repeat-heavy trace the
+    exact result cache reaches >=30% hit rate while cutting mean delay
+    (and $/query) by >=25% vs no-cache, the quality delta is reported
+    per arm, semantic matching's hit rate is at least exact's, and the
+    squeezed-capacity arm actually evicts."""
+    from repro.experiments import fig_cache
+
+    report = fig_cache.run(fast=True)
+    rows = {r["cache"]: r for r in report.rows}
+    base = rows["no-cache"]
+    exact = rows["exact/lru"]
+    assert base["hit_rate"] == 0 and base["queries"] > 0
+    # Every arm served the whole trace.
+    assert len({r["queries"] for r in report.rows}) == 1
+
+    # Headline: >=30% hits, >=25% mean-delay and $/query reduction.
+    assert exact["hit_rate"] >= 0.3
+    assert exact["mean_delay_s"] <= 0.75 * base["mean_delay_s"]
+    assert (exact["dollars_per_query"]
+            <= 0.75 * base["dollars_per_query"])
+    assert exact["saved_dollars"] > 0
+
+    # The quality delta is reported on every arm, and exact repeats
+    # re-score against their own ground truth (tiny |delta|).
+    assert all("delta_f1" in r for r in report.rows)
+    assert abs(exact["delta_f1"]) < 0.05
+
+    # Semantic matching can only add hits on top of exact keys; its
+    # quality delta is the price and must be visible (reported).
+    semantic = rows["semantic"]
+    assert semantic["hit_rate"] >= exact["hit_rate"]
+
+    # The squeezed cache evicts (policy choice is exercised), the
+    # roomy ones never need to.
+    assert rows["exact/gdsf cap=8"]["evictions"] > 0
+    assert exact["evictions"] == 0
+
+    # The retrieval tier alone hits but leaves quality untouched.
+    retrieval = rows["retrieval-only"]
+    assert retrieval["hit_rate"] >= 0.3
+    assert retrieval["delta_f1"] == pytest.approx(0.0)
+    assert len(report.notes) == 3
+
+
 def test_fig_autoscale_fast():
     """Acceptance bar (ISSUE 6): across a compressed diurnal day, the
     forecast autoscaler matches the static-peak fleet's SLO attainment

@@ -13,6 +13,7 @@ from repro.workload import (
     make_workload,
     multi_tenant_workload,
     sustained_rate,
+    zipfian_workload,
 )
 
 
@@ -107,12 +108,14 @@ class TestProperties:
 # ----------------------------------------------------------------------
 class TestDeterminism:
     @pytest.mark.parametrize("generator", [
-        diurnal_workload, bursty_workload, multi_tenant_workload])
+        diurnal_workload, bursty_workload, multi_tenant_workload,
+        zipfian_workload])
     def test_same_seed_same_trace_bytes(self, generator):
         assert generator(seed=7).to_json() == generator(seed=7).to_json()
 
     @pytest.mark.parametrize("generator", [
-        diurnal_workload, bursty_workload, multi_tenant_workload])
+        diurnal_workload, bursty_workload, multi_tenant_workload,
+        zipfian_workload])
     def test_different_seed_different_trace(self, generator):
         assert generator(seed=1).to_json() != generator(seed=2).to_json()
 
@@ -179,6 +182,62 @@ class TestMaterialize:
         assert len(set(ids)) == len(ids)
         assert ids[0] == "qa" and ids[1] == "qb"
         assert ids[2] == "qa#r1"
+
+
+# ----------------------------------------------------------------------
+# Zipfian workload + the per-arrival query mix
+# ----------------------------------------------------------------------
+class TestZipfianWorkload:
+    def test_registered_generator(self):
+        assert "zipf" in WORKLOAD_NAMES
+        wl = make_workload("zipf", seed=0)
+        assert wl.name == "zipf"
+
+    def test_mix_covers_every_arrival(self):
+        wl = zipfian_workload(seed=0, pool_size=10)
+        assert len(wl.query_mix) == wl.total_arrivals
+        assert all(0 <= i < 10 for i in wl.query_mix)
+
+    def test_head_is_skewed(self):
+        """Zipf s>1: the most popular pool index dominates a uniform
+        share by a wide margin."""
+        wl = zipfian_workload(seed=0, pool_size=20, zipf_s=1.1)
+        counts = [wl.query_mix.count(i) for i in range(20)]
+        assert max(counts) > 3 * (wl.total_arrivals / 20)
+        assert counts.index(max(counts)) == 0  # rank 0 is the head
+
+    def test_json_roundtrip_preserves_mix(self, tmp_path):
+        wl = zipfian_workload(seed=4, pool_size=8)
+        path = tmp_path / "zipf.json"
+        wl.save(path)
+        back = Workload.load(path)
+        assert back.query_mix == wl.query_mix
+        assert back.to_json() == wl.to_json()
+
+    def test_mixless_traces_omit_the_key(self):
+        """Byte-stability: traces without a mix serialize exactly as
+        before the field existed."""
+        assert '"query_mix"' not in diurnal_workload(seed=0).to_json()
+        assert '"query_mix"' in zipfian_workload(seed=0).to_json()
+
+    def test_scaled_preserves_mix(self):
+        wl = zipfian_workload(seed=0, pool_size=10)
+        assert wl.scaled(2.0).query_mix == wl.query_mix
+
+    def test_materialize_follows_mix_with_unique_ids(self):
+        wl = Workload(periods=(
+            WorkloadPeriod(duration_s=10.0, n_arrivals=4, label="p"),
+        ), name="mixed", query_mix=(1, 0, 1, 1))
+        pool = [_q("qa"), _q("qb")]
+        ids = [a.query.query_id
+               for a in wl.materialize(pool, seed=0)]
+        assert ids == ["qb", "qa", "qb#r1", "qb#r2"]
+
+    def test_mix_validated(self):
+        with pytest.raises(ValueError):
+            Workload(periods=(
+                WorkloadPeriod(duration_s=10.0, n_arrivals=1, label="p"),
+            ), name="bad", query_mix=(-1,))
 
 
 # ----------------------------------------------------------------------
