@@ -118,6 +118,19 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
                 Metric("p99_delay_s", higher_better=False),
                 float(row["p99_delay_s"]),
             )
+    elif artifact_name == "decide_micro.json":
+        # Both wall-clock: absolute fast-path throughput, plus its
+        # ratio over the retained plan-materialising reference (the
+        # ratio is machine-dependent too, but far more stable — a
+        # regression here means the fast path itself decayed).
+        out["decisions_per_sec"] = (
+            Metric("decisions_per_sec", higher_better=True, wall_clock=True),
+            float(payload["decisions_per_sec"]),
+        )
+        out["speedup_vs_plans"] = (
+            Metric("speedup_vs_plans", higher_better=True, wall_clock=True),
+            float(payload["speedup_vs_plans"]),
+        )
     elif artifact_name == "cache_zipf.json":
         # Hit rates are deterministic (seeded trace, seeded keys);
         # events_per_sec is the wall-clock hit-path throughput.
@@ -140,16 +153,19 @@ def extract_metrics(artifact_name: str, payload: dict) -> dict[str, Metric]:
 
 GATED_ARTIFACTS = ("bench_cluster_events.json",
                    "kernel_micro.json",
+                   "decide_micro.json",
                    "retrieval_shard_sweep.json",
                    "autoscale_trace.json",
                    "cache_zipf.json")
 
-#: Artifacts whose gated metric is a machine-dependent throughput;
-#: ``--update`` records ``metric * WALL_CLOCK_DERATE`` as a floor.
+#: Artifacts whose gated metrics are machine-dependent throughputs;
+#: ``--update`` records ``metric * WALL_CLOCK_DERATE`` as a floor for
+#: every listed key.
 WALL_CLOCK_ARTIFACTS = {
-    "bench_cluster_events.json": "events_per_sec",
-    "kernel_micro.json": "ops_per_sec",
-    "cache_zipf.json": "events_per_sec",
+    "bench_cluster_events.json": ("events_per_sec",),
+    "kernel_micro.json": ("ops_per_sec",),
+    "decide_micro.json": ("decisions_per_sec", "speedup_vs_plans"),
+    "cache_zipf.json": ("events_per_sec",),
 }
 
 
@@ -237,17 +253,20 @@ def update_baselines() -> int:
         payload = json.loads(artifact_path.read_text())
         metrics = extract_metrics(name, payload)
         if name in WALL_CLOCK_ARTIFACTS:
-            key = WALL_CLOCK_ARTIFACTS[name]
+            keys = WALL_CLOCK_ARTIFACTS[name]
             baseline = dict(payload)
-            measured = metrics[key][1]
-            baseline[key] = measured * WALL_CLOCK_DERATE
+            floors = []
+            for key in keys:
+                measured = metrics[key][1]
+                baseline[key] = measured * WALL_CLOCK_DERATE
+                floors.append(f"{key} ({measured:.0f})")
             baseline["_note"] = (
-                f"{key} is a wall-clock FLOOR: the measured "
-                f"value ({measured:.0f}) de-rated by {WALL_CLOCK_DERATE} "
-                "to absorb slower CI runners; regenerate with "
-                "check_regression.py --update"
+                f"wall-clock FLOOR(s): measured {', '.join(floors)} "
+                f"de-rated by {WALL_CLOCK_DERATE} to absorb slower CI "
+                "runners; regenerate with check_regression.py --update"
             )
             baseline.pop("best_seconds", None)
+            baseline.pop("reference_best_seconds", None)
         else:
             baseline = dict(payload)
             baseline.pop("wall_seconds", None)

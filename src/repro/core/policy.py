@@ -25,6 +25,8 @@ from repro.config.knobs import RAGConfig
 from repro.config.space import PrunedSpace
 from repro.core.profiles import QueryProfile
 from repro.data.types import Query
+from repro.synthesis import estimate_footprint
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.plans import SynthesisPlan
 
 __all__ = ["PrepResult", "SchedulingView", "ClusterSchedulingView",
@@ -49,9 +51,10 @@ class SchedulingView:
     Attributes:
         available_kv_bytes: free KV memory net of queued demand — the
             signal METIS' joint scheduler consumes.
-        estimate_plan: builds the synthesis plan a config would produce
-            (using the dataset's nominal chunk size), so policies can
-            size memory/compute without retrieving.
+        estimate_plan: builds the full synthesis plan a config would
+            produce (using the dataset's nominal chunk size). Kept for
+            call-level consumers and the reference decision path; the
+            hot path sizes configs with :meth:`footprint` instead.
     """
 
     now: float
@@ -61,10 +64,17 @@ class SchedulingView:
     chunk_tokens: int
     query_tokens: int
     answer_tokens: int
-    estimate_plan: Callable[[RAGConfig], SynthesisPlan]
+    estimate_plan: Callable[[RAGConfig], SynthesisPlan] | None = None
 
-    def plan_fits(self, plan: SynthesisPlan, buffer_frac: float = 0.02) -> bool:
-        """Whether a plan's minimum resident footprint fits right now."""
+    def footprint(self, config: RAGConfig) -> PlanFootprint:
+        """Closed-form footprint of the plan ``config`` would produce
+        for this query shape (memoized; no plan object is built)."""
+        return estimate_footprint(config, self.query_tokens,
+                                  self.chunk_tokens, self.answer_tokens)
+
+    def plan_fits(self, plan, buffer_frac: float = 0.02) -> bool:
+        """Whether a plan's (or footprint's) minimum resident footprint
+        fits right now."""
         need = plan.fit_tokens * self.kv_bytes_per_token * (1.0 + buffer_frac)
         return need <= self.available_kv_bytes
 

@@ -12,15 +12,35 @@ optimises purely for the resource fit:
 * if nothing fits, fall back to a cheap configuration just outside the
   range: ``map_rerank`` (no joint reasoning needed) or ``stuff`` (joint
   needed) with as many chunks as fit.
+
+**Fast path.** Sizing a candidate only ever reads aggregate token
+counts, so :meth:`JointScheduler.choose` scores the pruned grid against
+closed-form :class:`~repro.synthesis.footprint.PlanFootprint`\\ s —
+vectorized over the candidate axis with numpy — instead of
+materialising a :class:`~repro.synthesis.plans.SynthesisPlan` per
+candidate. Grids are memoized per ``(pruned space, query shape)``;
+query shapes cluster heavily across a trace, so most decisions reduce
+to two array comparisons and an argmax. Decisions are byte-identical to
+the plan-materialising reference (:meth:`JointScheduler
+.choose_reference`, kept for the equivalence suite and
+``benchmarks/bench_decide_micro.py``): the float expressions keep the
+exact same association order, token counts convert to float64 exactly
+(far below 2^53), and ``argmax``/``argmin`` return the *first* extremum
+just as the reference loops keep the earliest strict winner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.config.space import PrunedSpace
 from repro.core.policy import SchedulingView
+from repro.synthesis import estimate_footprint, make_synthesizer
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.plans import SynthesisPlan
 from repro.util.validation import check_in_range
 
@@ -32,10 +52,34 @@ class JointDecision:
     """The scheduler's pick plus search diagnostics."""
 
     config: RAGConfig
-    plan: SynthesisPlan
+    footprint: PlanFootprint
     fell_back: bool
     n_candidates: int
     n_fitting: int
+
+
+@lru_cache(maxsize=4096)
+def _scored_grid(
+    pruned: PrunedSpace, query_tokens: int, chunk_tokens: int,
+    answer_tokens: int,
+) -> tuple[tuple[RAGConfig, ...], tuple[PlanFootprint, ...],
+           np.ndarray, np.ndarray]:
+    """Candidate configs, footprints and score arrays for one shape.
+
+    The arrays hold ``cost_tokens`` / ``fit_tokens`` per candidate in
+    enumeration order, as float64 (exact for any realistic token
+    count). Hashable key: PrunedSpace is a frozen dataclass of ints and
+    method tuples.
+    """
+    configs = tuple(pruned.enumerate())
+    footprints = tuple(
+        estimate_footprint(config, query_tokens, chunk_tokens,
+                           answer_tokens)
+        for config in configs
+    )
+    cost = np.array([f.cost_tokens for f in footprints], dtype=np.float64)
+    fit = np.array([f.fit_tokens for f in footprints], dtype=np.float64)
+    return configs, footprints, cost, fit
 
 
 class JointScheduler:
@@ -60,8 +104,73 @@ class JointScheduler:
            too big, but ``map_reduce`` mappers are individually small
            and can stream through the batch one after another.
         """
+        configs, footprints, cost, fit = _scored_grid(
+            pruned, view.query_tokens, view.chunk_tokens,
+            view.answer_tokens,
+        )
+        n_candidates = len(configs)
+        kv = view.kv_bytes_per_token
+        buffered = 1.0 + self.memory_buffer_frac
+        available = view.available_kv_bytes
+
+        # Same association order as the scalar expression
+        # ``cost_tokens * kv_bytes_per_token * (1.0 + buffer_frac)``.
+        whole = (cost * kv) * buffered <= available
+        n_fitting = int(np.count_nonzero(whole))
+        if n_fitting:
+            # First index of the max cost among fitting candidates —
+            # identical to keeping the earliest strict ``>`` winner.
+            best = int(np.argmax(np.where(whole, cost, -1.0)))
+            return JointDecision(
+                config=configs[best],
+                footprint=footprints[best],
+                fell_back=False,
+                n_candidates=n_candidates,
+                n_fitting=n_fitting,
+            )
+
+        # Fig 8 pass: accept plans whose schedulable unit fits. Prefer
+        # the *smallest* unit-fit plan: memory is scarce, so commit to
+        # the least total work among the configurations that can still
+        # make progress.
+        unit = (fit * kv) * buffered <= available
+        n_fitting = int(np.count_nonzero(unit))
+        if n_fitting:
+            best = int(np.argmin(np.where(unit, cost, np.inf)))
+            return JointDecision(
+                config=configs[best],
+                footprint=footprints[best],
+                fell_back=False,
+                n_candidates=n_candidates,
+                n_fitting=n_fitting,
+            )
+
+        config = self._fallback_config(pruned, view)
+        return JointDecision(
+            config=config,
+            footprint=view.footprint(config),
+            fell_back=True,
+            n_candidates=n_candidates,
+            n_fitting=0,
+        )
+
+    # ------------------------------------------------------------------
+    def choose_reference(self, pruned: PrunedSpace,
+                         view: SchedulingView) -> JointDecision:
+        """Plan-materialising reference chooser (the pre-fast-path
+        implementation, kept verbatim).
+
+        Builds a full :class:`SynthesisPlan` for every candidate and
+        must agree with :meth:`choose` decision-for-decision — pinned
+        by ``tests/test_decide_fastpath.py`` and raced against the fast
+        path by ``benchmarks/bench_decide_micro.py``.
+        """
+        estimate = view.estimate_plan
+        if estimate is None:
+            def estimate(config: RAGConfig) -> SynthesisPlan:
+                return _build_estimate_plan(config, view)
         candidates = [
-            (config, view.estimate_plan(config))
+            (config, estimate(config))
             for config in pruned.enumerate()
         ]
         n_candidates = len(candidates)
@@ -76,14 +185,10 @@ class JointScheduler:
                 best = (plan.cost_tokens, config, plan)
 
         if best is None:
-            # Fig 8 pass: accept plans whose schedulable unit fits.
             for config, plan in candidates:
                 if not view.plan_fits(plan, self.memory_buffer_frac):
                     continue
                 n_fitting += 1
-                # Prefer the *smallest* unit-fit plan here: memory is
-                # scarce, so commit to the least total work among the
-                # configurations that can still make progress.
                 if best is None or plan.cost_tokens < best[0]:
                     best = (plan.cost_tokens, config, plan)
 
@@ -91,7 +196,7 @@ class JointScheduler:
             _, config, plan = best
             return JointDecision(
                 config=config,
-                plan=plan,
+                footprint=PlanFootprint.from_plan(plan),
                 fell_back=False,
                 n_candidates=n_candidates,
                 n_fitting=n_fitting,
@@ -99,7 +204,7 @@ class JointScheduler:
         config = self._fallback_config(pruned, view)
         return JointDecision(
             config=config,
-            plan=view.estimate_plan(config),
+            footprint=PlanFootprint.from_plan(estimate(config)),
             fell_back=True,
             n_candidates=n_candidates,
             n_fitting=0,
@@ -147,3 +252,18 @@ class JointScheduler:
         # queueing under a memory burst.
         k = max(min(lo, hi), min(k, hi))
         return RAGConfig(method, k)
+
+
+def _build_estimate_plan(config: RAGConfig,
+                         view: SchedulingView) -> SynthesisPlan:
+    """Default estimate-plan builder for views without a closure: the
+    same uniform-chunk construction the pipeline's ``make_view`` uses.
+    """
+    synthesizer = make_synthesizer(config.synthesis_method)
+    return synthesizer.build_plan(
+        query_id="est",
+        query_tokens=view.query_tokens,
+        chunk_tokens=[view.chunk_tokens] * config.num_chunks,
+        answer_tokens=view.answer_tokens,
+        config=config,
+    )

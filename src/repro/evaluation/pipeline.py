@@ -98,7 +98,6 @@ from repro.serving.request import InferenceRequest
 from repro.serving.speculation import (
     HedgeContext,
     SpeculationPolicy,
-    estimate_plan_seconds,
 )
 from repro.sim import Event, EventLoop, Lease, Resource, ResourceStats
 from repro.synthesis import make_synthesizer
@@ -419,8 +418,11 @@ class DecideStage(_Stage):
         """Ask the speculation policy when (if ever) to arm a duplicate."""
         p = self.p
         if p.speculation.needs_estimate:
-            plan = view.estimate_plan(ex.decision.config)
-            est_seconds = estimate_plan_seconds(plan, p.engine.cost)
+            # Closed-form footprint: bit-identical to pricing the
+            # materialised estimate plan (uniform chunks make every
+            # call in a stage identical), without building it.
+            footprint = view.footprint(ex.decision.config)
+            est_seconds = footprint.service_seconds(p.engine.cost)
         else:
             est_seconds = 0.0  # pure timers never read the estimate
         if isinstance(view, ClusterSchedulingView):

@@ -16,6 +16,7 @@ The paper (§A.2) observes that swapping embedding models changes F1 by
 from __future__ import annotations
 
 import hashlib
+import math
 from abc import ABC, abstractmethod
 from collections import Counter
 
@@ -39,21 +40,28 @@ class IdfWeights:
         self._n_docs = 0
         self._df: Counter[str] = Counter()
         self._tokenizer = SimTokenizer()
+        # weight() is called once per token of every embedded text;
+        # the weight only changes when fit() recounts, so memoize.
+        self._weight_cache: dict[str, float] = {}
 
     def fit(self, texts: list[str]) -> "IdfWeights":
         """Count document frequencies over ``texts`` (resets state)."""
         self._n_docs = len(texts)
         self._df = Counter()
+        self._weight_cache = {}
         for text in texts:
             self._df.update(set(self._tokenizer.tokenize(text)))
         return self
 
     def weight(self, token: str) -> float:
         """Smoothed IDF weight; unseen tokens get the maximum weight."""
-        import math
-
+        cached = self._weight_cache.get(token)
+        if cached is not None:
+            return cached
         df = self._df.get(token, 0)
-        return math.log((1.0 + self._n_docs) / (1.0 + df)) + 1.0
+        weight = math.log((1.0 + self._n_docs) / (1.0 + df)) + 1.0
+        self._weight_cache[token] = weight
+        return weight
 
 
 class EmbeddingModel(ABC):
@@ -125,3 +133,16 @@ class HashedEmbedding(EmbeddingModel):
         if norm > 0:
             vec /= norm
         return vec
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed many texts into one preallocated ``(n, dim)`` matrix.
+
+        Rows are byte-identical to per-text :meth:`embed` calls; the
+        instance's token-coordinate cache (and the IDF weight cache)
+        warm on the first texts and serve the rest of the batch, which
+        is where bulk chunk indexing spends its time.
+        """
+        out = np.zeros((len(texts), self.dim), dtype=np.float32)
+        for i, text in enumerate(texts):
+            out[i] = self.embed(text)
+        return out

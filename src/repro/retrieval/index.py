@@ -113,6 +113,10 @@ class IVFFlatIndex:
         self._centroids: np.ndarray | None = None
         self._cells: list[list[int]] = []
         self._vectors = np.zeros((0, dim), dtype=np.float32)
+        # Search-time caches, rebuilt lazily after add()/train():
+        # per-cell candidate index arrays and per-vector ||x||^2.
+        self._cell_arrays: list[np.ndarray] | None = None
+        self._sq_norms: np.ndarray | None = None
 
     @property
     def is_trained(self) -> bool:
@@ -140,11 +144,26 @@ class IVFFlatIndex:
                     centroids[c] = members.mean(axis=0)
         self._centroids = centroids
         self._cells = [[] for _ in range(self.nlist)]
+        self._cell_arrays = None
+        self._sq_norms = None
 
     @staticmethod
-    def _nearest_centroid(arr: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-        d2 = ((arr[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
-        return d2.argmin(axis=1)
+    def _centroid_d2(arr: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Squared L2 distances to every centroid, blockwise.
+
+        ``||a - c||^2 = ||a||^2 - 2 a.c + ||c||^2`` — two matmuls and a
+        broadcast instead of an ``(n, nlist, dim)`` intermediate.
+        """
+        sq_a = np.einsum("ij,ij->i", arr, arr)
+        sq_c = np.einsum("ij,ij->i", centroids, centroids)
+        d2 = sq_a[:, None] - 2.0 * (arr @ centroids.T) + sq_c[None, :]
+        np.maximum(d2, 0.0, out=d2)
+        return d2
+
+    @classmethod
+    def _nearest_centroid(cls, arr: np.ndarray,
+                          centroids: np.ndarray) -> np.ndarray:
+        return cls._centroid_d2(arr, centroids).argmin(axis=1)
 
     def add(self, vectors: np.ndarray) -> None:
         if not self.is_trained:
@@ -155,6 +174,8 @@ class IVFFlatIndex:
         for offset, cell in enumerate(assign):
             self._cells[int(cell)].append(start + offset)
         self._vectors = np.vstack([self._vectors, arr])
+        self._cell_arrays = None
+        self._sq_norms = None
 
     def search(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         """Approximate kNN: exact search within the ``nprobe`` nearest cells."""
@@ -168,16 +189,29 @@ class IVFFlatIndex:
         out_i = np.full((nq, k), -1, dtype=np.int64)
         if self.ntotal == 0:
             return out_d, out_i
-        cd2 = ((q[:, None, :] - self._centroids[None, :, :]) ** 2).sum(axis=2)
+        if self._cell_arrays is None:
+            self._cell_arrays = [
+                np.asarray(cell, dtype=np.int64) for cell in self._cells
+            ]
+            x = self._vectors
+            self._sq_norms = np.einsum("ij,ij->i", x, x)
+        cd2 = self._centroid_d2(q, self._centroids)
         probe_cells = np.argsort(cd2, axis=1)[:, : self.nprobe]
+        sq_q = np.einsum("ij,ij->i", q, q)
         for row in range(nq):
-            candidates: list[int] = []
-            for cell in probe_cells[row]:
-                candidates.extend(self._cells[int(cell)])
-            if not candidates:
+            cand = np.concatenate(
+                [self._cell_arrays[int(cell)] for cell in probe_cells[row]]
+            )
+            if cand.size == 0:
                 continue
-            cand = np.asarray(candidates, dtype=np.int64)
-            d2 = ((self._vectors[cand] - q[row]) ** 2).sum(axis=1)
+            # Same blockwise identity as FlatL2Index, restricted to the
+            # probed cells' candidates.
+            d2 = (
+                self._sq_norms[cand]
+                - 2.0 * (self._vectors[cand] @ q[row])
+                + sq_q[row]
+            )
+            np.maximum(d2, 0.0, out=d2)
             order = np.argsort(d2, kind="stable")[:k]
             n = len(order)
             out_d[row, :n] = d2[order]

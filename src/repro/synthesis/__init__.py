@@ -5,22 +5,27 @@ turn (query, retrieved chunks, config) into a :class:`SynthesisPlan` —
 the unit the serving engine executes and the joint scheduler sizes.
 """
 
+from functools import lru_cache
+
 from repro.synthesis.base import PromptOverheads, Synthesizer
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.map_reduce import MapReduceSynthesizer
 from repro.synthesis.map_rerank import MapRerankSynthesizer
 from repro.synthesis.plans import LLMCall, SynthesisPlan
 from repro.synthesis.stuff import StuffSynthesizer
 
-from repro.config.knobs import SynthesisMethod
+from repro.config.knobs import RAGConfig, SynthesisMethod
 
 __all__ = [
     "LLMCall",
     "MapReduceSynthesizer",
     "MapRerankSynthesizer",
+    "PlanFootprint",
     "PromptOverheads",
     "StuffSynthesizer",
     "Synthesizer",
     "SynthesisPlan",
+    "estimate_footprint",
     "make_synthesizer",
 ]
 
@@ -38,3 +43,26 @@ def make_synthesizer(method: SynthesisMethod,
     if overheads is None:
         return cls()
     return cls(overheads=overheads)
+
+
+@lru_cache(maxsize=None)
+def _default_synthesizer(method: SynthesisMethod) -> Synthesizer:
+    """Default-overhead planner singletons for the memoized estimator."""
+    return _SYNTHESIZERS[method]()
+
+
+@lru_cache(maxsize=65536)
+def estimate_footprint(config: RAGConfig, query_tokens: int,
+                       chunk_tokens: int,
+                       answer_tokens: int) -> PlanFootprint:
+    """Memoized closed-form footprint at default prompt overheads.
+
+    The decision plane's workhorse: query shapes cluster heavily across
+    a trace, so the same ``(config, query_tokens, chunk_tokens,
+    answer_tokens)`` key recurs and the footprint is computed once per
+    distinct shape. Pure function of its arguments — memoization cannot
+    change any decision.
+    """
+    synthesizer = _default_synthesizer(config.synthesis_method)
+    return synthesizer.estimate_footprint(
+        query_tokens, chunk_tokens, answer_tokens, config)

@@ -13,6 +13,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.config.knobs import RAGConfig, SynthesisMethod
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.plans import SynthesisPlan
 from repro.util.validation import check_non_negative
 
@@ -75,6 +76,39 @@ class Synthesizer(ABC):
             answer_tokens: expected final-answer length (dataset-typical;
                 the engine decodes exactly this many tokens).
         """
+
+    @abstractmethod
+    def estimate_footprint(
+        self,
+        query_tokens: int,
+        chunk_tokens: int,
+        answer_tokens: int,
+        config: RAGConfig,
+    ) -> PlanFootprint:
+        """Closed-form footprint of the plan :meth:`build_plan` would
+        produce for ``config.num_chunks`` chunks of uniform length
+        ``chunk_tokens`` — O(1), no :class:`LLMCall` objects.
+
+        Exactness contract: for any ``(query_tokens, chunk_tokens,
+        answer_tokens, config)``, this equals ``PlanFootprint.from_plan``
+        of the materialised plan over ``[chunk_tokens] * num_chunks``,
+        integer for integer. The joint scheduler scores candidate grids
+        against these instead of building plans.
+        """
+
+    def _validate_estimate(self, query_tokens: int, chunk_tokens: int,
+                           answer_tokens: int, config: RAGConfig) -> None:
+        if config.synthesis_method is not self.method:
+            raise ValueError(
+                f"{type(self).__name__} cannot plan for "
+                f"{config.synthesis_method}"
+            )
+        if chunk_tokens <= 0:
+            raise ValueError(f"chunk_tokens must be positive, got {chunk_tokens}")
+        if query_tokens <= 0:
+            raise ValueError(f"query_tokens must be positive, got {query_tokens}")
+        if answer_tokens <= 0:
+            raise ValueError(f"answer_tokens must be positive, got {answer_tokens}")
 
     def _validate(self, query_tokens: int, chunk_tokens: Sequence[int],
                   answer_tokens: int, config: RAGConfig) -> None:

@@ -1,0 +1,130 @@
+"""Analytic plan footprints: the scheduler's view of a plan, without
+the plan.
+
+The joint scheduler (§4.3) sizes ~28 candidate configurations per
+query but only ever reads aggregate token counts — it never needs the
+per-call DAG that :meth:`~repro.synthesis.base.Synthesizer.build_plan`
+materialises (validated :class:`~repro.synthesis.plans.LLMCall`
+dataclasses, string call ids). A :class:`PlanFootprint` carries exactly
+those aggregates, computed in closed form from the query shape.
+
+The representation is a *compressed call multiset*: per stage, a tuple
+of ``(prompt_tokens, output_tokens, n_calls)`` groups in first-build
+order. Scheduler estimates use a uniform chunk size, so every stage
+compresses to a single group and the closed forms are **exact** — for
+any plan built from uniform chunks,
+``PlanFootprint.from_plan(build_plan(...)) == estimate_footprint(...)``
+integer for integer (pinned by ``tests/test_footprint.py``). The
+service-time estimate (stage time = slowest call, stages sequential)
+is likewise bit-identical to
+:func:`~repro.serving.speculation.estimate_plan_seconds` on the
+materialised plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlanFootprint"]
+
+#: One group of identical calls inside a stage:
+#: ``(prompt_tokens, output_tokens, n_calls)``.
+CallGroup = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class PlanFootprint:
+    """Aggregate token footprints of a synthesis plan.
+
+    The scalar fields mirror the :class:`~repro.synthesis.plans
+    .SynthesisPlan` properties of the same names; ``stages`` keeps
+    enough structure to price service time per stage.
+    """
+
+    n_calls: int
+    #: Largest single call (prompt + output) — minimum KV tokens that
+    #: must be free for the plan to make progress (Fig 8 unit fit).
+    fit_tokens: int
+    #: Total KV tokens across all calls — the best-fit ranking metric.
+    cost_tokens: int
+    #: KV tokens if a whole stage runs concurrently.
+    stage_peak_tokens: int
+    total_prefill_tokens: int
+    total_output_tokens: int
+    #: Per stage, ``(prompt_tokens, output_tokens, n_calls)`` groups.
+    stages: tuple[tuple[CallGroup, ...], ...]
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stages(
+        cls, stages: tuple[tuple[CallGroup, ...], ...]
+    ) -> "PlanFootprint":
+        """Derive the scalar footprints from grouped stages."""
+        n_calls = 0
+        fit = 0
+        cost = 0
+        stage_peak = 0
+        prefill = 0
+        output = 0
+        for groups in stages:
+            stage_total = 0
+            for prompt, out, n in groups:
+                total = prompt + out
+                n_calls += n
+                fit = max(fit, total)
+                stage_total += n * total
+                prefill += n * prompt
+                output += n * out
+            cost += stage_total
+            stage_peak = max(stage_peak, stage_total)
+        return cls(
+            n_calls=n_calls,
+            fit_tokens=fit,
+            cost_tokens=cost,
+            stage_peak_tokens=stage_peak,
+            total_prefill_tokens=prefill,
+            total_output_tokens=output,
+            stages=stages,
+        )
+
+    @classmethod
+    def from_plan(cls, plan) -> "PlanFootprint":
+        """Footprint of a materialised :class:`SynthesisPlan`.
+
+        Identical calls within a stage are grouped (first-occurrence
+        order), so a plan built from uniform chunks collapses to one
+        group per stage — the same shape the closed-form estimators
+        produce.
+        """
+        stages: list[tuple[CallGroup, ...]] = []
+        for s in range(plan.n_stages):
+            groups: dict[tuple[int, int], int] = {}
+            for call in plan.stage_calls(s):
+                key = (call.prompt_tokens, call.output_tokens)
+                groups[key] = groups.get(key, 0) + 1
+            stages.append(
+                tuple((p, o, n) for (p, o), n in groups.items())
+            )
+        return cls.from_stages(tuple(stages))
+
+    # ------------------------------------------------------------------
+    def service_seconds(self, cost) -> float:
+        """Uncontended service-time estimate under a roofline cost model.
+
+        Same accumulation as :func:`~repro.serving.speculation
+        .estimate_plan_seconds` on the materialised plan (calls within
+        a stage run concurrently; stages are sequential), priced once
+        per group instead of once per call.
+        """
+        total = 0.0
+        for groups in self.stages:
+            stage_seconds = 0.0
+            for prompt, out, _n in groups:
+                seconds = cost.request_seconds(prompt, out)
+                stage_seconds = max(stage_seconds, seconds)
+            total += stage_seconds
+        return total

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.synthesis.base import Synthesizer
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.plans import LLMCall, SynthesisPlan
 
 __all__ = ["MapReduceSynthesizer"]
@@ -59,3 +60,25 @@ class MapReduceSynthesizer(Synthesizer):
             stage=1,
         )
         return SynthesisPlan(query_id=query_id, calls=(*mappers, reduce_call))
+
+    def estimate_footprint(
+        self,
+        query_tokens: int,
+        chunk_tokens: int,
+        answer_tokens: int,
+        config: RAGConfig,
+    ) -> PlanFootprint:
+        self._validate_estimate(query_tokens, chunk_tokens, answer_tokens,
+                                config)
+        k = config.num_chunks
+        ilen = config.intermediate_length
+        map_prompt = (
+            query_tokens + chunk_tokens + self.overheads.wrapper_tokens(1)
+        )
+        reduce_prompt = (
+            query_tokens + k * ilen + self.overheads.wrapper_tokens(k)
+        )
+        return PlanFootprint.from_stages((
+            ((map_prompt, ilen, k),),
+            ((reduce_prompt, answer_tokens, 1),),
+        ))

@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.synthesis.base import Synthesizer
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.plans import LLMCall, SynthesisPlan
 
 __all__ = ["MapRerankSynthesizer"]
@@ -45,3 +46,20 @@ class MapRerankSynthesizer(Synthesizer):
             for i, n in enumerate(chunk_tokens)
         )
         return SynthesisPlan(query_id=query_id, calls=calls)
+
+    def estimate_footprint(
+        self,
+        query_tokens: int,
+        chunk_tokens: int,
+        answer_tokens: int,
+        config: RAGConfig,
+    ) -> PlanFootprint:
+        self._validate_estimate(query_tokens, chunk_tokens, answer_tokens,
+                                config)
+        prompt = (
+            query_tokens + chunk_tokens + self.overheads.wrapper_tokens(1)
+        )
+        # answer + the short confidence tail, as in build_plan.
+        return PlanFootprint.from_stages(
+            (((prompt, answer_tokens + 4, config.num_chunks),),)
+        )

@@ -11,6 +11,7 @@ from collections.abc import Sequence
 
 from repro.config.knobs import RAGConfig, SynthesisMethod
 from repro.synthesis.base import Synthesizer
+from repro.synthesis.footprint import PlanFootprint
 from repro.synthesis.plans import LLMCall, SynthesisPlan
 
 __all__ = ["StuffSynthesizer"]
@@ -42,3 +43,22 @@ class StuffSynthesizer(Synthesizer):
             stage=0,
         )
         return SynthesisPlan(query_id=query_id, calls=(call,))
+
+    def estimate_footprint(
+        self,
+        query_tokens: int,
+        chunk_tokens: int,
+        answer_tokens: int,
+        config: RAGConfig,
+    ) -> PlanFootprint:
+        self._validate_estimate(query_tokens, chunk_tokens, answer_tokens,
+                                config)
+        k = config.num_chunks
+        prompt = (
+            query_tokens
+            + k * chunk_tokens
+            + self.overheads.wrapper_tokens(k)
+        )
+        return PlanFootprint.from_stages(
+            (((prompt, answer_tokens, 1),),)
+        )

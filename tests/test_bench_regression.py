@@ -111,6 +111,15 @@ class TestExtraction:
         assert not metrics["result_hit_rate"][0].wall_clock
         assert metrics["events_per_sec"][0].wall_clock
 
+    def test_decide_micro_gates_throughput_and_speedup(self):
+        metrics = extract_metrics("decide_micro.json", {
+            "decisions_per_sec": 100_000.0, "speedup_vs_plans": 20.0})
+        assert len(metrics) == 2
+        # Both machine-dependent: gated as de-rated wall-clock floors.
+        assert metrics["decisions_per_sec"][0].wall_clock
+        assert metrics["decisions_per_sec"][0].higher_better
+        assert metrics["speedup_vs_plans"][0].wall_clock
+
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError, match="no metric spec"):
             extract_metrics("bench_unknown.json", {})
@@ -134,6 +143,9 @@ class TestGateEndToEnd:
             {"events_per_sec": events}))
         (root / "kernel_micro.json").write_text(json.dumps(
             {"ops_per_sec": events * 10.0}))
+        (root / "decide_micro.json").write_text(json.dumps(
+            {"decisions_per_sec": events * 2.0,
+             "speedup_vs_plans": 25.0}))
         (root / "retrieval_shard_sweep.json").write_text(json.dumps(
             {"rows": [{"shards": 1, "reranker": "off",
                        "throughput_qps": qps, "mean_retrieval_s": 0.5,

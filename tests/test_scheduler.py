@@ -60,7 +60,7 @@ class TestBestFit:
     def test_picks_highest_cost_fitting(self):
         ample = scheduler.choose(space(), make_view(1_000_000))
         tight = scheduler.choose(space(), make_view(2_100))
-        assert tight.plan.cost_tokens < ample.plan.cost_tokens
+        assert tight.footprint.cost_tokens < ample.footprint.cost_tokens
 
     def test_fig8_unit_fit_prefers_map_reduce(self):
         """When no whole plan fits, map_reduce's small mappers still do."""
@@ -120,7 +120,7 @@ class TestFallbackDiagnostics:
         view = make_view(0)
         decision = scheduler.choose(space(), view)
         estimated = view.estimate_plan(decision.config)
-        assert decision.plan.cost_tokens == estimated.cost_tokens
+        assert decision.footprint.cost_tokens == estimated.cost_tokens
 
     def test_unit_fit_counts_toward_fitting(self):
         """The Fig 8 pass is not a fallback and reports its fits."""
