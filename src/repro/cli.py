@@ -34,6 +34,7 @@ from repro.evaluation.reports import (
     cache_rows,
     format_table,
     per_replica_rows,
+    quality_rows,
     resource_rows,
     speculation_rows,
 )
@@ -52,7 +53,7 @@ _EXPERIMENTS = (
     "fig14_feedback", "fig15_larger_llm", "fig16_incremental",
     "fig17_profiler_llm", "fig18_overhead", "fig18_saturation",
     "fig19_lowload", "fig_retrieval_scaling", "fig_speculation",
-    "fig_autoscale", "fig_cache",
+    "fig_autoscale", "fig_cache", "fig_quality",
 )
 
 
@@ -111,8 +112,14 @@ def parse_config_label(label: str) -> RAGConfig:
     return RAGConfig(method, num_chunks, ilen)
 
 
-def build_policy(name: str, bundle, config_label: str | None, seed: int):
-    """Construct a policy by CLI name."""
+def build_policy(name: str, bundle, config_label: str | None, seed: int,
+                 quality_slo: str | None = None):
+    """Construct a policy by CLI name.
+
+    ``quality_slo`` only steers ``metis`` (its joint scheduler flips
+    to cheapest-in-range selection); fixed-config policies have no
+    selection to steer, so it is measurement-only for them.
+    """
     from repro.experiments.common import (
         make_adaptive_rag,
         make_median,
@@ -120,7 +127,7 @@ def build_policy(name: str, bundle, config_label: str | None, seed: int):
     )
 
     if name == "metis":
-        return make_metis(bundle, seed=seed)
+        return make_metis(bundle, seed=seed, quality_slo=quality_slo)
     if name == "adaptive-rag":
         return make_adaptive_rag(bundle, seed=seed)
     if name == "median":
@@ -139,7 +146,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     bundle = build_dataset(args.dataset, seed=args.seed,
                            n_queries=args.queries)
-    policy = build_policy(args.policy, bundle, args.config, args.seed)
+    policy = build_policy(args.policy, bundle, args.config, args.seed,
+                          quality_slo=args.quality_slo)
     speeds = (parse_replica_speeds(args.replica_speeds)
               if args.replica_speeds else None)
     shard_concurrency = None
@@ -175,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_eviction=args.cache_eviction,
         semantic_threshold=args.semantic_threshold,
         cache_ttl=args.cache_ttl,
+        quality_metrics=args.quality_metrics,
+        quality_slo=args.quality_slo,
     )
     rows = [dict(metric=k, value=v) for k, v in result.summary().items()]
     title = f"{policy.name} on {args.dataset}"
@@ -201,7 +211,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.retrieval_cache:
             tiers.append("retrieval")
         title += f" [{'+'.join(tiers)} cache]"
+    quality_on = args.quality_metrics or args.quality_slo is not None
+    if args.quality_slo is not None:
+        title += f" [SLO {args.quality_slo}]"
+    elif quality_on:
+        title += " [quality metrics]"
     print(format_table(rows, title=title))
+    if quality_on:
+        print()
+        print(format_table(quality_rows(result),
+                           title="Quality metrics (docs/EVALUATION.md)"))
+    if args.quality_slo is not None:
+        from repro.evaluation.slo import evaluate_quality_slo
+
+        report = evaluate_quality_slo(result, args.quality_slo)
+        print()
+        print(format_table([report.as_row()], title="Quality SLO"))
     if cache_on:
         print()
         print(format_table(cache_rows(result), title="Cache tiers"))
@@ -366,6 +391,18 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-ttl", type=float, default=None,
                      help="entry time-to-live in seconds (default: "
                           "no expiry)")
+    run.add_argument("--quality-metrics", action="store_true",
+                     help="score every served answer with the "
+                          "multi-metric quality harness (faithfulness, "
+                          "answer relevancy, context precision/recall; "
+                          "docs/EVALUATION.md). Post-serve scoring: "
+                          "the event schedule is untouched")
+    run.add_argument("--quality-slo", default=None, metavar="METRIC>=VAL",
+                     help="quality SLO spec, e.g. faithfulness>=0.8: "
+                          "implies --quality-metrics, reports "
+                          "attainment, and (with --policy metis) makes "
+                          "the scheduler pick the cheapest in-range "
+                          "configuration that fits")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

@@ -61,9 +61,22 @@ class MetisConfig:
     #: Values used when a knob's adaptation is disabled.
     fixed_num_chunks: int = 20
     fixed_intermediate_length: int = 100
+    #: Quality SLO to target ("metric>=value" or a parsed
+    #: :class:`~repro.evaluation.metrics.QualitySLO`): the joint
+    #: scheduler then picks the *cheapest* in-range fitting
+    #: configuration instead of the richest (docs/EVALUATION.md).
+    #: ``None`` (default) keeps selection byte-identical.
+    quality_slo: object = None
 
     def __post_init__(self) -> None:
         check_probability("confidence_threshold", self.confidence_threshold)
+        if isinstance(self.quality_slo, str):
+            from repro.evaluation.metrics import QualitySLO
+
+            # Fail fast on a malformed spec; keep the parsed (frozen,
+            # hashable) form so configs stay comparable.
+            object.__setattr__(self, "quality_slo",
+                               QualitySLO.parse(self.quality_slo))
         if self.selection_mode not in ("best_fit", "median", "max"):
             raise ValueError(
                 f"unknown selection_mode: {self.selection_mode!r}"
@@ -92,7 +105,8 @@ class MetisPolicy(RAGPolicy):
         self.profiler = LLMProfiler(
             self.config.profiler_spec, metadata_tokens, seed=seed
         )
-        self.scheduler = JointScheduler(self.config.memory_buffer_frac)
+        self.scheduler = JointScheduler(self.config.memory_buffer_frac,
+                                        quality_slo=self.config.quality_slo)
         self.feedback: FeedbackLoop | None = None
         if self.config.enable_feedback:
             self.feedback = FeedbackLoop(

@@ -63,13 +63,13 @@ def _scored_grid(
     pruned: PrunedSpace, query_tokens: int, chunk_tokens: int,
     answer_tokens: int,
 ) -> tuple[tuple[RAGConfig, ...], tuple[PlanFootprint, ...],
-           np.ndarray, np.ndarray]:
+           np.ndarray, np.ndarray, np.ndarray]:
     """Candidate configs, footprints and score arrays for one shape.
 
-    The arrays hold ``cost_tokens`` / ``fit_tokens`` per candidate in
-    enumeration order, as float64 (exact for any realistic token
-    count). Hashable key: PrunedSpace is a frozen dataclass of ints and
-    method tuples.
+    The arrays hold ``cost_tokens`` / ``fit_tokens`` / ``num_chunks``
+    per candidate in enumeration order (float64 is exact for any
+    realistic token count). Hashable key: PrunedSpace is a frozen
+    dataclass of ints and method tuples.
     """
     configs = tuple(pruned.enumerate())
     footprints = tuple(
@@ -79,15 +79,41 @@ def _scored_grid(
     )
     cost = np.array([f.cost_tokens for f in footprints], dtype=np.float64)
     fit = np.array([f.fit_tokens for f in footprints], dtype=np.float64)
-    return configs, footprints, cost, fit
+    chunks = np.array([c.num_chunks for c in configs], dtype=np.int64)
+    return configs, footprints, cost, fit, chunks
 
 
 class JointScheduler:
-    """Best-fit configuration selection against live GPU memory."""
+    """Best-fit configuration selection against live GPU memory.
 
-    def __init__(self, memory_buffer_frac: float = 0.02) -> None:
+    ``quality_slo`` (a :class:`~repro.evaluation.metrics.QualitySLO`,
+    a ``metric>=value`` spec string, or ``None``) switches the
+    whole-fit pick from the quality-ceiling argmax to *threshold-gated
+    min cost* ("faithfulness >= 0.8 at min cost",
+    ``docs/EVALUATION.md``): quality above the threshold earns
+    nothing, so the scheduler should spend the minimum that still
+    clears the bar. The scheduler has no per-query quality predictor,
+    so the gate maps the SLO threshold linearly onto the pruned
+    ``num_chunks`` range — the quality-bearing knob of the space — as
+    a floor (threshold 0 → cheapest candidate, threshold 1 → the full
+    range, i.e. the historical pick), then takes the cheapest fitting
+    candidate at or above the floor. If memory pressure empties the
+    gated set, any fitting candidate beats queueing and the pick
+    degrades to plain min cost. Actual attainment is measured post
+    hoc by :func:`repro.evaluation.slo.evaluate_quality_slo`. The
+    default (``None``) keeps the historical quality-ceiling pick and
+    the byte-identical schedule.
+    """
+
+    def __init__(self, memory_buffer_frac: float = 0.02,
+                 quality_slo=None) -> None:
         check_in_range("memory_buffer_frac", memory_buffer_frac, 0.0, 0.5)
         self.memory_buffer_frac = memory_buffer_frac
+        if isinstance(quality_slo, str):
+            from repro.evaluation.metrics import QualitySLO
+
+            quality_slo = QualitySLO.parse(quality_slo)
+        self.quality_slo = quality_slo
 
     # ------------------------------------------------------------------
     def choose(self, pruned: PrunedSpace, view: SchedulingView) -> JointDecision:
@@ -104,7 +130,7 @@ class JointScheduler:
            too big, but ``map_reduce`` mappers are individually small
            and can stream through the batch one after another.
         """
-        configs, footprints, cost, fit = _scored_grid(
+        configs, footprints, cost, fit, chunks = _scored_grid(
             pruned, view.query_tokens, view.chunk_tokens,
             view.answer_tokens,
         )
@@ -118,9 +144,18 @@ class JointScheduler:
         whole = (cost * kv) * buffered <= available
         n_fitting = int(np.count_nonzero(whole))
         if n_fitting:
-            # First index of the max cost among fitting candidates —
-            # identical to keeping the earliest strict ``>`` winner.
-            best = int(np.argmax(np.where(whole, cost, -1.0)))
+            if self.quality_slo is not None:
+                # Quality-SLO mode: cheapest fitting candidate at or
+                # above the gated num_chunks floor; plain min cost if
+                # memory pressure emptied the gate (docs/EVALUATION.md).
+                gated = whole & (chunks >= self._chunk_floor(pruned))
+                eligible = gated if gated.any() else whole
+                best = int(np.argmin(np.where(eligible, cost, np.inf)))
+            else:
+                # First index of the max cost among fitting candidates
+                # — identical to keeping the earliest strict ``>``
+                # winner.
+                best = int(np.argmax(np.where(whole, cost, -1.0)))
             return JointDecision(
                 config=configs[best],
                 footprint=footprints[best],
@@ -155,6 +190,19 @@ class JointScheduler:
         )
 
     # ------------------------------------------------------------------
+    def _chunk_floor(self, pruned: PrunedSpace) -> int:
+        """Gated ``num_chunks`` floor for the active quality SLO.
+
+        ``lo + ceil(threshold * (hi - lo))`` over the pruned range —
+        the linear threshold→knob mapping described in the class
+        docstring. ``ceil`` keeps the gate conservative: any fractional
+        requirement rounds toward more context, never less.
+        """
+        lo, hi = pruned.num_chunks_range
+        span = max(0, hi - lo)
+        return lo + int(np.ceil(self.quality_slo.threshold * span))
+
+    # ------------------------------------------------------------------
     def choose_reference(self, pruned: PrunedSpace,
                          view: SchedulingView) -> JointDecision:
         """Plan-materialising reference chooser (the pre-fast-path
@@ -177,12 +225,32 @@ class JointScheduler:
 
         best: tuple[int, RAGConfig, SynthesisPlan] | None = None
         n_fitting = 0
-        for config, plan in candidates:
-            if not self._whole_plan_fits(plan, view):
-                continue
-            n_fitting += 1
-            if best is None or plan.cost_tokens > best[0]:
-                best = (plan.cost_tokens, config, plan)
+        if self.quality_slo is not None:
+            # Quality-SLO mode, mirroring ``choose``: min cost among
+            # whole-fit candidates at/above the gated num_chunks floor,
+            # degrading to plain min cost when the gate is empty. Keep
+            # the earliest strict winner, like argmin.
+            floor = self._chunk_floor(pruned)
+            gated_best: tuple[int, RAGConfig, SynthesisPlan] | None = None
+            for config, plan in candidates:
+                if not self._whole_plan_fits(plan, view):
+                    continue
+                n_fitting += 1
+                if best is None or plan.cost_tokens < best[0]:
+                    best = (plan.cost_tokens, config, plan)
+                if config.num_chunks >= floor and (
+                        gated_best is None
+                        or plan.cost_tokens < gated_best[0]):
+                    gated_best = (plan.cost_tokens, config, plan)
+            if gated_best is not None:
+                best = gated_best
+        else:
+            for config, plan in candidates:
+                if not self._whole_plan_fits(plan, view):
+                    continue
+                n_fitting += 1
+                if best is None or plan.cost_tokens > best[0]:
+                    best = (plan.cost_tokens, config, plan)
 
         if best is None:
             for config, plan in candidates:

@@ -15,23 +15,33 @@ __all__ = [
     "CostLedger",
     "DollarCostModel",
     "ExperimentRunner",
+    "MetricHarness",
     "ParetoPoint",
+    "QualityMetrics",
+    "QualitySLO",
     "QueryRecord",
     "RunResult",
     "cluster_summary",
+    "evaluate_quality_slo",
     "pareto_frontier",
     "per_replica_rows",
     "precision_recall",
+    "quality_rows",
     "speculation_rows",
     "token_f1",
 ]
 
 _LAZY = {
     "ExperimentRunner": "repro.evaluation.runner",
+    "MetricHarness": "repro.evaluation.metrics",
+    "QualityMetrics": "repro.evaluation.metrics",
+    "QualitySLO": "repro.evaluation.metrics",
     "QueryRecord": "repro.evaluation.runner",
     "RunResult": "repro.evaluation.runner",
     "cluster_summary": "repro.evaluation.reports",
+    "evaluate_quality_slo": "repro.evaluation.slo",
     "per_replica_rows": "repro.evaluation.reports",
+    "quality_rows": "repro.evaluation.reports",
     "speculation_rows": "repro.evaluation.reports",
 }
 

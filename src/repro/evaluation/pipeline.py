@@ -89,6 +89,7 @@ from repro.data.types import DatasetBundle, Query
 from repro.data.workload import Arrival
 from repro.evaluation.costs import CostLedger
 from repro.evaluation.f1 import token_f1
+from repro.evaluation.metrics import MetricHarness, QualityMetrics
 from repro.llm.generation import SimulatedGenerator
 from repro.retrieval.rerank import ExactReranker
 from repro.retrieval.sharded import SearchHit, ShardedVectorStore
@@ -200,6 +201,14 @@ class QueryRecord:
     #: Cache-resource lookup hold (+ queueing) this query paid; >0 for
     #: every query — hits *and* misses — when a cache is enabled.
     cache_lookup_seconds: float = 0.0
+    #: RAGAS-style decomposed quality metrics (``docs/EVALUATION.md``),
+    #: scored post-serve against what was actually served (the cached
+    #: answer and chunk ids on a hit). ``None`` unless the run enabled
+    #: the metric harness — the default keeps records byte-identical.
+    faithfulness: float | None = None
+    answer_relevancy: float | None = None
+    context_precision: float | None = None
+    context_recall: float | None = None
 
     @property
     def e2e_delay(self) -> float:
@@ -223,6 +232,23 @@ class QueryRecord:
             return 0.0
         return (self.profiler_seconds + self.profiler_queue_delay) \
             / self.e2e_delay
+
+
+def _metric_fields(quality: QualityMetrics | None) -> dict:
+    """Keyword fields for ``QueryRecord`` from one harness score.
+
+    An empty dict when the harness is off, so the record keeps its
+    all-``None`` defaults and default runs stay field-for-field
+    identical to pre-harness records.
+    """
+    if quality is None:
+        return {}
+    return dict(
+        faithfulness=quality.faithfulness,
+        answer_relevancy=quality.answer_relevancy,
+        context_precision=quality.context_precision,
+        context_recall=quality.context_recall,
+    )
 
 
 @dataclass
@@ -757,11 +783,17 @@ class QueryPipeline:
         slo_seconds: float | None = None,
         autoscaler=None,
         cache_config: CacheConfig | None = None,
+        metrics: MetricHarness | None = None,
     ) -> None:
         self.bundle = bundle
         self.policy = policy
         self.engine = engine
         self.generator = generator
+        #: Optional multi-metric quality harness (docs/EVALUATION.md).
+        #: ``None`` (the default) skips scoring entirely: records carry
+        #: ``None`` metric fields and the schedule is untouched either
+        #: way — scoring is post-serve and emits no events.
+        self.metrics = metrics
         if slo_seconds is not None:
             check_positive("slo_seconds", slo_seconds)
             slo_seconds = float(slo_seconds)
@@ -999,6 +1031,9 @@ class QueryPipeline:
         """Winning lane done: score, record, and refill the closed loop."""
         ctx = self.bundle.synthesis_context(ex.query, lane.chunk_ids)
         answer = self.generator.generate(ctx, ex.decision.config)
+        quality = (self.metrics.score(ex.query, answer.tokens,
+                                      lane.chunk_ids)
+                   if self.metrics is not None else None)
         record = QueryRecord(
             query_id=ex.query.query_id,
             policy=self.policy.name,
@@ -1045,6 +1080,7 @@ class QueryPipeline:
             cache_stale=ex.cache_stale,
             cache_age_s=ex.cache_age_s,
             cache_lookup_seconds=ex.cache_lookup_seconds,
+            **_metric_fields(quality),
         )
         self.records.append(record)
         if self.result_cache is not None and not ex.cache_hit:
@@ -1155,6 +1191,14 @@ class QueryPipeline:
         ex.cache_age_s = now - entry.insert_time
         ctx = self.bundle.synthesis_context(ex.query, list(value.chunk_ids))
         f1 = token_f1(list(value.tokens), list(ctx.ground_truth_tokens()))
+        # The *hitting* query scores the *cached* answer and context:
+        # exact repeats reproduce the miss-path metrics bit-for-bit
+        # (identical truth, tokens, and chunk ids), while semantic and
+        # stale hits surface their honest faithfulness/relevancy/recall
+        # deltas instead of hiding behind the donor query's scores.
+        quality = (self.metrics.score(ex.query, value.tokens,
+                                      value.chunk_ids)
+                   if self.metrics is not None else None)
         record = QueryRecord(
             query_id=ex.query.query_id,
             policy=self.policy.name,
@@ -1186,6 +1230,7 @@ class QueryPipeline:
             cache_stale=ex.cache_stale,
             cache_age_s=ex.cache_age_s,
             cache_lookup_seconds=ex.cache_lookup_seconds,
+            **_metric_fields(quality),
         )
         self.records.append(record)
         if isinstance(self.engine, ClusterEngine):

@@ -17,7 +17,7 @@ __all__ = ["format_table", "format_ratio", "Reporter",
            "per_replica_rows", "cluster_summary", "resource_rows",
            "retrieval_shard_rows", "speculation_rows",
            "autoscale_rows", "autoscale_summary",
-           "cache_rows", "query_group_rows"]
+           "cache_rows", "query_group_rows", "quality_rows"]
 
 
 def _fmt(value) -> str:
@@ -276,21 +276,93 @@ def cache_rows(result) -> list[dict]:
     ``saved_seconds`` / ``saved_dollars`` are the summed *measured*
     benefit of the hits (what each memoized answer actually cost to
     produce), the same quantities GDSF eviction ranks entries by —
-    see ``docs/CACHING.md``.
+    see ``docs/CACHING.md``. When the metric harness scored anything
+    (``n_quality_scored > 0``), a ``hit_faithfulness`` column pairs
+    each tier's saved cost with the quality its hits actually
+    delivered (docs/EVALUATION.md): NaN when the tier served no
+    scored hits. Harness-off runs omit the column so default cache
+    tables render byte-identically to the pre-harness layout.
     """
-    return [dict(
-        tier=tier,
-        lookups=stats.lookups,
-        hits=stats.hits,
-        hit_rate=stats.hit_rate,
-        inserts=stats.inserts,
-        evictions=stats.evictions,
-        expirations=stats.expirations,
-        stale_hits=stats.stale_hits,
-        semantic_hits=stats.semantic_hits,
-        saved_seconds=stats.saved_seconds,
-        saved_dollars=stats.saved_dollars,
-    ) for tier, stats in result.cache_stats.items()]
+    records = getattr(result, "records", [])
+    scored = getattr(result, "n_quality_scored", 0) > 0
+
+    def row(tier, stats):
+        out = dict(
+            tier=tier,
+            lookups=stats.lookups,
+            hits=stats.hits,
+            hit_rate=stats.hit_rate,
+            inserts=stats.inserts,
+            evictions=stats.evictions,
+            expirations=stats.expirations,
+            stale_hits=stats.stale_hits,
+            semantic_hits=stats.semantic_hits,
+            saved_seconds=stats.saved_seconds,
+            saved_dollars=stats.saved_dollars,
+        )
+        if scored:
+            out["hit_faithfulness"] = _mean_metric(
+                [r for r in records if r.cache_hit
+                 and (r.cache_tier or "").startswith(tier)],
+                "faithfulness")
+        return out
+
+    return [row(tier, stats)
+            for tier, stats in result.cache_stats.items()]
+
+
+#: QueryRecord metric field names, in reporting order (kept in sync
+#: with ``repro.evaluation.metrics.METRIC_NAMES`` without importing
+#: it — reports stays a leaf module).
+_QUALITY_METRICS = ("faithfulness", "answer_relevancy",
+                    "context_precision", "context_recall")
+
+
+def _mean_metric(records, metric: str) -> float:
+    """NaN-safe mean of one metric over the scored subset of
+    ``records`` (NaN when nothing was scored — empty run or harness
+    off), mirroring the RunResult aggregate convention."""
+    values = [getattr(r, metric) for r in records]
+    values = [v for v in values if v is not None]
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def quality_rows(result) -> list[dict]:
+    """Quality-metric aggregates per serving path (docs/EVALUATION.md).
+
+    ``result`` is a :class:`~repro.evaluation.runner.RunResult`
+    (duck-typed: ``records`` carrying the metric fields plus
+    ``cache_hit`` / ``cache_tier``). One row per serving path — the
+    miss path and each cache tier that actually served hits — plus an
+    ``all`` summary row, so semantic-hit and stale-hit quality deltas
+    read directly off the table. Rows render NaN metric columns when
+    the harness was off; an empty run yields just the ``all`` row.
+    """
+    def path_of(r) -> str:
+        return f"hit:{r.cache_tier}" if r.cache_hit else "miss"
+
+    paths: dict[str, list] = {}
+    order: list[str] = []
+    for r in result.records:
+        path = path_of(r)
+        if path not in paths:
+            paths[path] = []
+            order.append(path)
+        paths[path].append(r)
+
+    def row(path: str, records) -> dict:
+        out = dict(path=path, queries=len(records))
+        for metric in _QUALITY_METRICS:
+            out[metric] = _mean_metric(records, metric)
+        out["mean_f1"] = (sum(r.f1 for r in records) / len(records)
+                          if records else float("nan"))
+        return out
+
+    rows = [row(path, paths[path]) for path in sorted(order)]
+    rows.append(row("all", result.records))
+    return rows
 
 
 def query_group_rows(result) -> list[dict]:
@@ -304,6 +376,11 @@ def query_group_rows(result) -> list[dict]:
     per-query hit yield, and ``first_delay_s`` vs ``mean_delay_s``
     quantifies what the repeats gained. Rows are ordered by first
     arrival.
+
+    The ``faithfulness`` / ``context_recall`` columns aggregate the
+    metric harness's per-record scores (docs/EVALUATION.md) NaN-safely:
+    NaN when the group has no scored records (harness off), so cached
+    replays with a real quality delta stand out per query.
     """
     groups: dict[str, list] = {}
     order: list[str] = []
@@ -325,6 +402,8 @@ def query_group_rows(result) -> list[dict]:
             first_delay_s=delays[0],
             mean_delay_s=sum(delays) / len(delays),
             mean_f1=sum(r.f1 for r in records) / len(records),
+            faithfulness=_mean_metric(records, "faithfulness"),
+            context_recall=_mean_metric(records, "context_recall"),
         ))
     return rows
 

@@ -28,6 +28,7 @@ from repro.core.policy import RAGPolicy
 from repro.data.types import DatasetBundle
 from repro.data.workload import Arrival
 from repro.evaluation.costs import CostLedger
+from repro.evaluation.metrics import METRIC_NAMES, MetricHarness, QualitySLO
 from repro.evaluation.pipeline import QueryPipeline, QueryRecord
 from repro.llm.generation import SimulatedGenerator
 from repro.llm.quality import QualityModel, QualityParams
@@ -99,6 +100,12 @@ class RunResult:
     #: Per-tier cache counters keyed ``"result"`` / ``"retrieval"``
     #: (empty when caching is off); see ``docs/CACHING.md``.
     cache_stats: dict[str, CacheStats] = field(default_factory=dict)
+    #: Whether the multi-metric quality harness scored this run's
+    #: records (``docs/EVALUATION.md``); off by default.
+    quality_metrics: bool = False
+    #: Canonical ``metric>=threshold`` spec the run targeted (``None``
+    #: when no quality SLO was set).
+    quality_slo: str | None = None
 
     # ------------------------------------------------------------------
     # Latency / quality observables. A run can legitimately complete
@@ -250,6 +257,48 @@ class RunResult:
         when caching is off)."""
         return sum(s.saved_dollars for s in self.cache_stats.values())
 
+    # ------------------------------------------------------------------
+    # Multi-metric quality observables (fig_quality); see
+    # docs/EVALUATION.md. NaN-safe like every other aggregate: NaN
+    # means "no scored observation" — an empty run, or a run that
+    # never enabled the metric harness.
+    # ------------------------------------------------------------------
+    def metric_values(self, metric: str) -> list[float]:
+        """Non-``None`` per-record values of one named metric."""
+        if metric not in METRIC_NAMES:
+            known = ", ".join(METRIC_NAMES)
+            raise ValueError(f"unknown metric {metric!r}; known: {known}")
+        values = [getattr(r, metric) for r in self.records]
+        return [v for v in values if v is not None]
+
+    def mean_metric(self, metric: str) -> float:
+        """Mean of one named metric over scored records (NaN if none)."""
+        values = self.metric_values(metric)
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    @property
+    def n_quality_scored(self) -> int:
+        """How many records carry harness scores (0 with metrics off)."""
+        return len(self.metric_values("faithfulness"))
+
+    @property
+    def mean_faithfulness(self) -> float:
+        return self.mean_metric("faithfulness")
+
+    @property
+    def mean_answer_relevancy(self) -> float:
+        return self.mean_metric("answer_relevancy")
+
+    @property
+    def mean_context_precision(self) -> float:
+        return self.mean_metric("context_precision")
+
+    @property
+    def mean_context_recall(self) -> float:
+        return self.mean_metric("context_recall")
+
     @property
     def total_dollars(self) -> float:
         return self.ledger.total_dollars
@@ -344,8 +393,16 @@ class ExperimentRunner:
         cache_eviction: str | None = None,
         semantic_threshold: float | None = None,
         cache_ttl: float | None = None,
+        quality_metrics: bool = False,
+        quality_slo: str | QualitySLO | None = None,
     ) -> None:
         check_positive("n_replicas", n_replicas)
+        # Quality SLOs are *measured* attainment, so targeting one
+        # implies scoring: the harness switches on automatically.
+        self.quality_slo = (QualitySLO.parse(quality_slo)
+                            if isinstance(quality_slo, str) else quality_slo)
+        self.quality_metrics = bool(quality_metrics) \
+            or self.quality_slo is not None
         # Fail fast on misused cache knobs before any engine state is
         # built; None means every tier is off — the byte-identity path.
         self.cache_config = make_cache_config(
@@ -477,6 +534,14 @@ class ExperimentRunner:
         self.generator = SimulatedGenerator(
             quality=QualityModel(params), root_seed=seed
         )
+        # One harness per runner: its chunk-token / query-embedding
+        # memos are derived-only, so reuse across run() calls is safe
+        # and keeps replay-heavy traces cheap. Built against the
+        # (possibly resharded) store the queries actually search.
+        self.metric_harness = (
+            MetricHarness(bundle, embedding=self.store.embedding)
+            if self.quality_metrics else None
+        )
 
     # ------------------------------------------------------------------
     def run(self, policy: RAGPolicy, arrivals: list[Arrival],
@@ -531,6 +596,7 @@ class ExperimentRunner:
             slo_seconds=self.slo_seconds,
             autoscaler=autoscaler,
             cache_config=self.cache_config,
+            metrics=self.metric_harness,
         )
         pipeline.run(arrivals, closed_loop_clients=closed_loop_clients)
 
@@ -583,6 +649,9 @@ class ExperimentRunner:
             retrieval_cache=(self.cache_config.retrieval
                              if self.cache_config is not None else False),
             cache_stats=pipeline.cache_stats(),
+            quality_metrics=self.quality_metrics,
+            quality_slo=(self.quality_slo.spec
+                         if self.quality_slo is not None else None),
         )
 
     # ------------------------------------------------------------------

@@ -118,7 +118,13 @@ def metadata_tokens(bundle: DatasetBundle) -> int:
 
 
 def make_metis(bundle: DatasetBundle, config: MetisConfig | None = None,
-               seed: int = 0, name: str = "metis") -> MetisPolicy:
+               seed: int = 0, name: str = "metis",
+               quality_slo: str | None = None) -> MetisPolicy:
+    """``quality_slo`` ("metric>=value") makes the joint scheduler pick
+    the cheapest in-range fitting configuration instead of the richest
+    (docs/EVALUATION.md); it composes with an explicit ``config``."""
+    if quality_slo is not None:
+        config = replace(config or MetisConfig(), quality_slo=quality_slo)
     return MetisPolicy(
         metadata_tokens=metadata_tokens(bundle),
         chunk_tokens=bundle.chunk_tokens,
@@ -209,6 +215,8 @@ def run_policy(
     cache_eviction: str | None = None,
     semantic_threshold: float | None = None,
     cache_ttl: float | None = None,
+    quality_metrics: bool = False,
+    quality_slo: str | None = None,
 ) -> RunResult:
     """Run one policy over the bundle's standard workload.
 
@@ -245,6 +253,15 @@ def run_policy(
     :mod:`repro.caching` and ``docs/CACHING.md``); the default
     (``None`` / off) constructs no caches and keeps the schedule
     byte-identical.
+
+    ``quality_metrics`` turns on the multi-metric quality harness
+    (per-record faithfulness / answer relevancy / context precision /
+    context recall — see :mod:`repro.evaluation.metrics` and
+    ``docs/EVALUATION.md``); ``quality_slo`` ("metric>=value") implies
+    it and stamps the run for
+    :func:`~repro.evaluation.slo.evaluate_quality_slo`. Scoring is
+    post-serve, so neither perturbs the event schedule; the default
+    (off) keeps records field-for-field identical.
     """
     queries = bundle.queries if n_queries is None else bundle.queries[:n_queries]
     wl = None
@@ -299,6 +316,8 @@ def run_policy(
         cache_eviction=cache_eviction,
         semantic_threshold=semantic_threshold,
         cache_ttl=cache_ttl,
+        quality_metrics=quality_metrics,
+        quality_slo=quality_slo,
     )
     return runner.run(policy, arrivals, closed_loop_clients=closed_loop_clients)
 

@@ -269,6 +269,39 @@ class TestCommands:
         assert code == 0
         assert "mean_f1" in capsys.readouterr().out
 
+    def test_run_command_with_quality_metrics(self, capsys):
+        code = main([
+            "run", "--dataset", "finsec", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "8", "--rate", "2.0",
+            "--quality-metrics",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[quality metrics]" in out
+        assert "Quality metrics" in out
+        assert "faithfulness" in out and "context_recall" in out
+
+    def test_run_command_with_quality_slo(self, capsys):
+        code = main([
+            "run", "--dataset", "finsec", "--policy", "metis",
+            "--queries", "6", "--sequential",
+            "--quality-slo", "context_recall>=0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[SLO context_recall>=0.5]" in out
+        assert "Quality SLO" in out
+        assert "attainment" in out and "shortfall" in out
+
+    def test_bad_quality_slo_fails_fast(self, capsys):
+        code = main([
+            "run", "--dataset", "finsec", "--policy", "vllm",
+            "--config", "stuff/5", "--queries", "4",
+            "--quality-slo", "f1>=0.5",
+        ])
+        assert code == 2
+        assert "unknown quality metric" in capsys.readouterr().err
+
     def test_experiment_command(self, capsys):
         code = main(["experiment", "fig9_confidence", "--fast"])
         assert code == 0

@@ -15,9 +15,12 @@ from repro.evaluation.costs import CostLedger
 from repro.evaluation.reports import (
     autoscale_rows,
     autoscale_summary,
+    cache_rows,
     cluster_summary,
     format_table,
     per_replica_rows,
+    quality_rows,
+    query_group_rows,
     resource_rows,
     speculation_rows,
 )
@@ -59,6 +62,24 @@ class TestNaNSafeStats:
         # SLOs the value stays 0.0 — pinned in test_speculation.py.)
         assert math.isnan(empty_result.slo_attainment)
 
+    def test_quality_metric_aggregates_are_nan(self, empty_result):
+        # Zero scored records -> "no observation", never ZeroDivision.
+        assert empty_result.n_quality_scored == 0
+        assert math.isnan(empty_result.mean_faithfulness)
+        assert math.isnan(empty_result.mean_answer_relevancy)
+        assert math.isnan(empty_result.mean_context_precision)
+        assert math.isnan(empty_result.mean_context_recall)
+
+    def test_quality_slo_report_is_nan_safe(self, empty_result):
+        from repro.evaluation.slo import evaluate_quality_slo
+
+        report = evaluate_quality_slo(empty_result, "faithfulness>=0.8")
+        assert report.n_queries == 0
+        assert math.isnan(report.attainment)
+        assert math.isnan(report.mean_value)
+        assert report.shortfall == 0.0
+        assert format_table([report.as_row()])
+
     def test_rates_stay_zero(self, empty_result):
         # Rates over an empty set are "nothing happened", not unknown.
         assert empty_result.throughput_qps == 0.0
@@ -92,6 +113,23 @@ class TestReportsRender:
         assert math.isnan(rows[0]["p99_delay_s"])
         assert format_table(rows)
         assert resource_rows(empty_result) == []
+
+    def test_quality_rows_render(self, empty_result):
+        rows = quality_rows(empty_result)
+        assert len(rows) == 1  # just the "all" summary row
+        assert rows[0]["path"] == "all"
+        assert rows[0]["queries"] == 0
+        assert math.isnan(rows[0]["faithfulness"])
+        assert math.isnan(rows[0]["mean_f1"])
+        assert format_table(rows)
+
+    def test_query_group_and_cache_rows_render(self, empty_result):
+        assert query_group_rows(empty_result) == []
+        rows = cache_rows(empty_result)
+        # Harness off (nothing scored): no hit_faithfulness column, so
+        # default cache tables keep their pre-harness layout.
+        assert all("hit_faithfulness" not in row for row in rows)
+        assert format_table(rows) is not None
 
     def test_autoscale_tables_render(self, empty_result):
         assert autoscale_rows(empty_result) == []

@@ -177,3 +177,54 @@ class TestBuffer:
     def test_invalid_buffer_rejected(self):
         with pytest.raises(ValueError):
             JointScheduler(memory_buffer_frac=0.9)
+
+
+class TestQualitySLOGate:
+    """Threshold-gated min-cost selection (docs/EVALUATION.md): the SLO
+    threshold maps linearly onto the pruned num_chunks range as a
+    floor, and the scheduler spends the minimum at or above it."""
+
+    def test_constructor_parses_spec_string(self):
+        from repro.evaluation.metrics import QualitySLO
+
+        sched = JointScheduler(quality_slo="context_recall>=0.7")
+        assert sched.quality_slo == QualitySLO("context_recall", 0.7)
+
+    def test_zero_threshold_picks_cheapest(self):
+        sched = JointScheduler(quality_slo="faithfulness>=0.0")
+        decision = sched.choose(space(), make_view(1_000_000))
+        assert decision.config.num_chunks == 2  # range floor
+        assert not decision.fell_back
+
+    def test_full_threshold_recovers_quality_ceiling(self):
+        sched = JointScheduler(quality_slo="faithfulness>=1.0")
+        gated = sched.choose(space(), make_view(1_000_000))
+        default = scheduler.choose(space(), make_view(1_000_000))
+        assert gated.config == default.config  # floor == range top
+
+    def test_mid_threshold_gates_the_floor(self):
+        # chunks range (2, 6), threshold 0.5 -> floor 2 + ceil(2) = 4:
+        # cheapest candidate at or above four chunks.
+        sched = JointScheduler(quality_slo="context_recall>=0.5")
+        decision = sched.choose(space(), make_view(1_000_000))
+        assert decision.config.num_chunks == 4
+
+    def test_memory_pressure_degrades_to_min_cost(self):
+        # Only k<=3 fits in ~2.1k tokens; the k>=6 gate is empty, so
+        # the pick degrades to the cheapest fitting candidate rather
+        # than queueing or falling back.
+        sched = JointScheduler(quality_slo="faithfulness>=1.0")
+        decision = sched.choose(space(), make_view(2_100))
+        assert not decision.fell_back
+        assert decision.config.num_chunks == 2
+
+    @pytest.mark.parametrize("tokens", [1_000_000, 2_700, 2_100, 900])
+    @pytest.mark.parametrize("threshold", [0.0, 0.5, 0.7, 1.0])
+    def test_fast_path_matches_reference(self, tokens, threshold):
+        sched = JointScheduler(quality_slo=f"faithfulness>={threshold}")
+        view = make_view(tokens)
+        fast = sched.choose(space(), view)
+        ref = sched.choose_reference(space(), view)
+        assert fast.config == ref.config
+        assert fast.fell_back == ref.fell_back
+        assert fast.n_fitting == ref.n_fitting

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Check that markdown cross-links in the documentation resolve.
+
+Scans ``docs/*.md`` plus the top-level markdown files for:
+
+* relative links — ``[text](OTHER.md)`` / ``[text](OTHER.md#anchor)``
+  must point at an existing file (resolved against the containing
+  file's directory), and an ``#anchor`` must match a heading in the
+  target file (GitHub slugification: lowercase, spaces to dashes,
+  punctuation stripped);
+* in-page anchors — ``[text](#anchor)`` must match a heading in the
+  same file;
+* wiki-style references — ``[[NAME]]`` resolves to ``NAME.md`` next to
+  the containing file.
+
+External links (``http(s)://``, ``mailto:``) are ignored; fenced code
+blocks and inline code spans are stripped before scanning so examples
+can't produce false positives. Exits non-zero listing every broken
+link. Run from anywhere: paths resolve relative to the repo root
+(this file's grandparent). CI runs this in the fast job;
+``tests/test_doc_links.py`` wraps it for the local suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the closing paren.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: ``[[NAME]]`` wiki-style reference.
+_WIKI = re.compile(r"\[\[([^\]|#]+)(?:#([^\]|]+))?\]\]")
+_FENCE = re.compile(r"^(```|~~~)")
+_INLINE_CODE = re.compile(r"`[^`]*`")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced blocks and inline code spans, preserving line count
+    (so reported line numbers match the source file)."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+        elif in_fence:
+            out.append("")
+        else:
+            out.append(_INLINE_CODE.sub("", line))
+    return "\n".join(out)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor: strip markup, lowercase, spaces to
+    dashes, drop everything but word chars and dashes."""
+    text = _INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower().replace(" ", "-")
+    return re.sub(r"[^\w\-]", "", text)
+
+
+def display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:  # outside the repo (tests run on tmp dirs)
+        return str(path)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    for line in strip_code(path.read_text(encoding="utf-8")).splitlines():
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = strip_code(path.read_text(encoding="utf-8"))
+
+    def check_target(lineno: int, raw: str, target: str,
+                     anchor: str | None) -> None:
+        if target:
+            dest = (path.parent / target).resolve()
+            if not dest.is_file():
+                errors.append(
+                    f"{display(path)}:{lineno}: broken "
+                    f"link {raw!r}: no such file {target!r}")
+                return
+        else:
+            dest = path  # in-page anchor
+        if anchor and dest.suffix == ".md":
+            if anchor.lower() not in heading_anchors(dest):
+                errors.append(
+                    f"{display(path)}:{lineno}: broken "
+                    f"anchor {raw!r}: no heading #{anchor} in "
+                    f"{display(dest)}")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            href = match.group(1)
+            if href.startswith(_EXTERNAL):
+                continue
+            target, _, anchor = href.partition("#")
+            check_target(lineno, match.group(0), target, anchor or None)
+        for match in _WIKI.finditer(line):
+            name, anchor = match.group(1).strip(), match.group(2)
+            check_target(lineno, match.group(0), f"{name}.md", anchor)
+    return errors
+
+
+def main() -> int:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += sorted(p for p in REPO_ROOT.glob("*.md"))
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print(f"{len(errors)} broken doc link(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"doc links ok ({len(files)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
